@@ -1,0 +1,72 @@
+"""Figure 10 — simulation time while sweeping the number of NPUs.
+
+The paper sweeps tensor-parallel NPU counts from 8 to 2048 for GPT3-7B, 30B
+and 175B (batch 64, sequence length 1024, no warm computation-reuse cache)
+and shows simulation time growing roughly in proportion to the NPU count,
+dominated by the graph converter and ASTRA-sim at large scale, while even
+GPT3-175B on 2048 NPUs stays far below the baseline simulators.
+
+The sweep here stops at 256 NPUs (block-granularity execution graphs) so the
+bench completes in minutes; the growth trend and the model-size ordering are
+what the assertions check.
+"""
+
+import pytest
+from conftest import make_uniform_batch, run_once
+
+from repro import LLMServingSim, ParallelismStrategy, ServingSimConfig
+from repro.analysis import print_table
+from repro.graph import GraphGranularity
+from repro.models import Phase
+
+MODELS = ["gpt3-7b", "gpt3-30b", "gpt3-175b"]
+NPU_COUNTS = [8, 16, 32, 64, 128, 256]
+BATCH, SEQ = 64, 1024
+
+_RESULTS = {}
+
+
+def sweep(model_name: str):
+    times = {}
+    batch = make_uniform_batch(BATCH, SEQ, Phase.GENERATION)
+    for npus in NPU_COUNTS:
+        config = ServingSimConfig(
+            model_name=model_name, npu_num=npus, npu_group=1,
+            parallel=ParallelismStrategy.TENSOR,
+            npu_mem_gb=256.0,  # capacity is not the subject of this experiment
+            enable_computation_reuse=False,
+            graph_granularity=GraphGranularity.BLOCK)
+        sim = LLMServingSim(config)
+        sim.simulate_single_batch(batch)
+        times[npus] = sim.simtime.modeled.total
+    return times
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fig10_npu_sweep(benchmark, model_name):
+    times = run_once(benchmark, sweep, model_name)
+    _RESULTS[model_name] = times
+
+    rows = [[npus, f"{times[npus] / 60:.2f}"] for npus in NPU_COUNTS]
+    print_table(f"Figure 10: modeled simulation time vs NPUs, {model_name} "
+                "(tensor parallelism, no computation reuse)",
+                ["NPUs", "minutes"], rows)
+
+    # Simulation time grows with the number of NPUs (system-level
+    # coordination dominates at scale).
+    assert times[NPU_COUNTS[-1]] > times[NPU_COUNTS[0]]
+    assert times[NPU_COUNTS[-1]] > 1.5 * times[NPU_COUNTS[len(NPU_COUNTS) // 2]]
+
+
+def test_fig10_model_size_ordering(benchmark):
+    def collect():
+        return dict(_RESULTS)
+
+    results = run_once(benchmark, collect)
+    if len(results) == len(MODELS):
+        largest = NPU_COUNTS[-1]
+        rows = [[m, f"{results[m][largest] / 60:.2f}"] for m in MODELS]
+        print_table(f"Figure 10: modeled simulation time at {largest} NPUs",
+                    ["model", "minutes"], rows)
+        # Larger models take longer to simulate at the same NPU count.
+        assert results["gpt3-175b"][largest] > results["gpt3-30b"][largest] > results["gpt3-7b"][largest]

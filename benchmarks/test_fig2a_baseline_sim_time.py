@@ -1,0 +1,35 @@
+"""Figure 2(a) — one-iteration simulation time of existing LLM simulators.
+
+The paper reports roughly 10 hours for mNPUsim, 1.5 hours for GeneSys and
+2 hours for NeuPIMs to simulate a single inference iteration (GPT3-7B,
+batch 32, sequence length 512).  The calibrated baseline-simulator cost
+models regenerate those bars.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table
+from repro.baselines import baseline_simulators
+from repro.models import get_model
+
+PAPER_HOURS = {"mNPUsim": 10.0, "GeneSys": 1.5, "NeuPIMs": 2.0}
+
+
+def measure_baseline_hours():
+    model = get_model("gpt3-7b")
+    return {sim.name: sim.iteration_time(model, batch_size=32, seq_len=512) / 3600.0
+            for sim in baseline_simulators()}
+
+
+def test_fig2a_baseline_simulation_time(benchmark):
+    hours = run_once(benchmark, measure_baseline_hours)
+
+    rows = [[name, f"{hours[name]:.2f}", f"{PAPER_HOURS[name]:.2f}"] for name in hours]
+    print_table("Figure 2(a): one-iteration simulation time (hours), GPT3-7B batch 32 seq 512",
+                ["simulator", "this repo (h)", "paper (h)"], rows)
+
+    # Ordering: mNPUsim slowest, then NeuPIMs, then GeneSys.
+    assert hours["mNPUsim"] > hours["NeuPIMs"] > hours["GeneSys"]
+    # Each lands within 25% of the paper's reported value (they are calibrated).
+    for name, paper_value in PAPER_HOURS.items():
+        assert abs(hours[name] - paper_value) / paper_value < 0.25

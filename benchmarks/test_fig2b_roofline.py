@@ -1,0 +1,52 @@
+"""Figure 2(b) — roofline analysis of LLM inference operators.
+
+Places each operator class of a GPT3-7B transformer block on the RTX 3090
+roofline for both the initiation and generation phases.  The paper's
+observation: QKV generation and the FFN are compute bound (high arithmetic
+intensity) while attention Score/Attend and layer normalization are memory
+bound, dramatically so in the generation phase.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table
+from repro.models import Phase, RTX3090_PEAKS, analyze_phase, get_model
+
+
+def build_roofline():
+    model = get_model("gpt3-7b")
+    points = {}
+    for phase in (Phase.INITIATION, Phase.GENERATION):
+        points[phase] = analyze_phase(model, batch_size=32, seq_len=512, phase=phase)
+    return points
+
+
+def test_fig2b_roofline(benchmark):
+    points = run_once(benchmark, build_roofline)
+
+    rows = []
+    for phase, groups in points.items():
+        for name, point in sorted(groups.items()):
+            rows.append([phase.value, name, f"{point.arithmetic_intensity:.2f}",
+                         f"{point.attainable_tflops:.1f}",
+                         "compute" if point.compute_bound else "memory"])
+    print_table("Figure 2(b): roofline of GPT3-7B operators on RTX 3090 "
+                f"(ridge point {RTX3090_PEAKS.ridge_point:.0f} FLOP/byte)",
+                ["phase", "operator", "FLOP/byte", "attainable TFLOPS", "bound"], rows)
+
+    init = points[Phase.INITIATION]
+    gen = points[Phase.GENERATION]
+
+    # Compute-bound operator classes in the initiation phase.
+    assert init["qkv_gen"].compute_bound
+    assert init["ffn"].compute_bound
+    # Memory-bound operator classes in both phases.
+    assert not init["layernorm"].compute_bound
+    assert not gen["score"].compute_bound
+    assert not gen["attend"].compute_bound
+    # Generation-phase attention has far lower arithmetic intensity than
+    # initiation-phase attention (GEMV vs GEMM).
+    assert gen["score"].arithmetic_intensity < init["score"].arithmetic_intensity / 10
+    # Batched GEMMs keep high intensity even in the generation phase, which is
+    # exactly the compute/memory split motivating heterogeneous systems.
+    assert gen["qkv_gen"].arithmetic_intensity > gen["attend"].arithmetic_intensity

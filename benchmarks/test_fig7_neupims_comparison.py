@@ -1,0 +1,91 @@
+"""Figure 7 — NPU+PIM heterogeneous throughput versus NeuPIMs.
+
+The paper serves 256 Alpaca requests on an NPU+PIM system under six
+model/parallelism configurations and compares LLMServingSim's throughput
+with the NeuPIMs simulator: LLMServingSim is consistently somewhat lower
+(it models inter-device links and synchronization that NeuPIMs omits) with
+per-configuration error below 20% and a geometric-mean error of 8.88%.
+
+The workload is scaled to 64 requests with a batch cap so the bench runs in
+minutes; the comparison structure (who is higher, by how much) is preserved.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro import LLMServingSim, ParallelismStrategy, ServingSimConfig
+from repro.analysis import geometric_mean_error, print_table, relative_error
+from repro.baselines import NeuPIMsConfig, NeuPIMsReference
+from repro.graph import GraphGranularity
+from repro.workload import BurstArrivalGenerator
+
+#: (model, tensor parallel, pipeline parallel) — a subset of Figure 7's x-axis.
+CONFIGS = [
+    ("gpt3-7b", 4, 1),
+    ("gpt3-7b", 2, 2),
+    ("gpt3-13b", 4, 2),
+    ("gpt3-30b", 8, 1),
+]
+
+NUM_REQUESTS = 64
+MAX_BATCH = 32
+
+_ERRORS = []
+
+
+def run_config(model_name: str, tp: int, pp: int):
+    requests = BurstArrivalGenerator("alpaca", seed=5).generate(NUM_REQUESTS).requests
+    # Sub-batch interleaving is left off here: at this scaled-down batch size
+    # (32 versus the paper's 256+) the batched GEMMs are weight-bound, so
+    # splitting them would re-read the weights per sub-batch and distort the
+    # comparison; the NeuPIMs reference model represents the large-batch
+    # operating point where that cost is amortized.
+    config = ServingSimConfig(
+        model_name=model_name,
+        npu_num=tp * pp,
+        npu_group=pp,
+        parallel=ParallelismStrategy.HYBRID,
+        pim_type="local",
+        sub_batch=False,
+        max_batch=MAX_BATCH,
+        graph_granularity=GraphGranularity.BLOCK,
+    )
+    sim_result = LLMServingSim(config).run(requests)
+    sim_tput = sim_result.total_throughput
+
+    neupims = NeuPIMsReference(NeuPIMsConfig(model_name=model_name,
+                                             tensor_parallel=tp, pipeline_parallel=pp))
+    ref_requests = BurstArrivalGenerator("alpaca", seed=5).generate(NUM_REQUESTS).requests
+    ref_tput = neupims.throughput(ref_requests, max_batch_size=MAX_BATCH)
+    return sim_tput, ref_tput
+
+
+@pytest.mark.parametrize("model_name,tp,pp", CONFIGS)
+def test_fig7_neupims_throughput(benchmark, model_name, tp, pp):
+    sim_tput, ref_tput = run_once(benchmark, run_config, model_name, tp, pp)
+    error = relative_error(sim_tput, ref_tput)
+    _ERRORS.append(error)
+
+    print_table(f"Figure 7: {model_name} TP{tp} PP{pp} (paper: error < 20%, geomean 8.88%)",
+                ["system", "throughput (tok/s)"],
+                [["LLMServingSim (NPU+PIM)", f"{sim_tput:.1f}"],
+                 ["NeuPIMs reference", f"{ref_tput:.1f}"],
+                 ["relative error", f"{error * 100:.1f}%"]])
+
+    # NeuPIMs (no link/synchronization modelling) should not be slower than
+    # the full system simulation, and the two should stay within 40% at this
+    # scaled-down batch size (the paper reports <20% at batch sizes of 256+).
+    assert ref_tput >= sim_tput * 0.95
+    assert error < 0.40
+
+
+def test_fig7_geometric_mean_error(benchmark):
+    def geomean():
+        return geometric_mean_error(_ERRORS) if _ERRORS else 0.0
+
+    value = run_once(benchmark, geomean)
+    print_table("Figure 7: geometric mean error across configurations",
+                ["metric", "value"],
+                [["geomean error", f"{value * 100:.2f}%"], ["paper geomean", "8.88%"]])
+    if _ERRORS:
+        assert value < 0.35

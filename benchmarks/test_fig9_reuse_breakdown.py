@@ -1,0 +1,80 @@
+"""Figure 9 — simulation-time breakdown with and without computation reuse.
+
+GPT3-30B, batch 64, sequence length 1024, 64 NPUs, five parallelism
+configurations from pure tensor parallelism (TP64) to pure pipeline
+parallelism (PP64).  The paper reports 198-215.7 s without reuse and
+16.3-33.6 s with reuse (a 6.4-12.2x reduction), with the ASTRA-sim component
+largest under pure tensor parallelism and smallest under pure pipeline
+parallelism.
+"""
+
+import pytest
+from conftest import make_uniform_batch, run_once
+
+from repro import LLMServingSim, ParallelismStrategy, ServingSimConfig
+from repro.analysis import print_table
+from repro.models import Phase
+
+#: (label, strategy, npu_group) for a 64-NPU system.
+CONFIGS = [
+    ("TP64 PP1", ParallelismStrategy.TENSOR, 1),
+    ("TP16 PP4", ParallelismStrategy.HYBRID, 4),
+    ("TP8 PP8", ParallelismStrategy.HYBRID, 8),
+    ("TP4 PP16", ParallelismStrategy.HYBRID, 16),
+    ("TP1 PP64", ParallelismStrategy.PIPELINE, 64),
+]
+
+MODEL = "gpt3-30b"
+BATCH, SEQ = 64, 1024
+
+_TOTALS = {}
+
+
+def run_config(strategy: ParallelismStrategy, groups: int, reuse: bool):
+    batch = make_uniform_batch(BATCH, SEQ, Phase.GENERATION)
+    config = ServingSimConfig(
+        model_name=MODEL, npu_num=64, npu_group=groups, parallel=strategy,
+        npu_mem_gb=64.0,
+        enable_block_reuse=reuse, enable_computation_reuse=reuse)
+    sim = LLMServingSim(config)
+    sim.simulate_single_batch(batch)
+    return sim.simtime.modeled
+
+
+@pytest.mark.parametrize("label,strategy,groups", CONFIGS)
+def test_fig9_breakdown(benchmark, label, strategy, groups):
+    def both():
+        return (run_config(strategy, groups, reuse=False),
+                run_config(strategy, groups, reuse=True))
+
+    without_reuse, with_reuse = run_once(benchmark, both)
+    _TOTALS[label] = (without_reuse.total, with_reuse.total)
+
+    rows = []
+    for component, value in without_reuse.as_dict().items():
+        rows.append([component, f"{value:.1f}", f"{with_reuse.as_dict()[component]:.1f}"])
+    rows.append(["total", f"{without_reuse.total:.1f}", f"{with_reuse.total:.1f}"])
+    print_table(f"Figure 9: modeled simulation time breakdown (s), {MODEL} {label} "
+                "(paper: 198-215.7 s without reuse, 16.3-33.6 s with reuse)",
+                ["component", "w/o reuse", "w/ reuse"], rows)
+
+    speedup = without_reuse.total / with_reuse.total
+    # Computation reuse gives a large reduction (the paper reports 6.4-12.2x).
+    assert 4.0 < speedup < 20.0
+    # Without reuse the engine stack (compile + simulate) dominates.
+    assert without_reuse.engine > without_reuse.system_sim
+
+
+def test_fig9_parallelism_trend(benchmark):
+    def totals():
+        return dict(_TOTALS)
+
+    values = run_once(benchmark, totals)
+    if len(values) == len(CONFIGS):
+        rows = [[label, f"{wo:.1f}", f"{w:.1f}", f"{wo / w:.1f}x"]
+                for label, (wo, w) in values.items()]
+        print_table("Figure 9: totals across parallelism strategies",
+                    ["config", "w/o reuse (s)", "w/ reuse (s)", "speedup"], rows)
+        # Pure tensor parallelism is the slowest to simulate (most collective
+        # synchronization); pure pipeline parallelism the fastest.
+        assert values["TP64 PP1"][1] > values["TP1 PP64"][1]

@@ -1,0 +1,44 @@
+"""Table I — hardware specification of the simulated NPU, PIM and links.
+
+Prints the specification table directly from the preset configuration
+objects used throughout the evaluation, confirming they match the paper.
+"""
+
+from conftest import run_once
+
+from repro.analysis import print_table
+from repro.engine import TABLE1_NPU, TABLE1_PIM
+from repro.system import PCIE_GEN4_X16
+
+
+def build_spec_rows():
+    npu, pim, link = TABLE1_NPU, TABLE1_PIM, PCIE_GEN4_X16
+    return [
+        ["NPU systolic array", f"{npu.systolic_rows}x{npu.systolic_cols}"],
+        ["NPU vector unit", f"{npu.vector_lanes}x1"],
+        ["NPU frequency", f"{npu.frequency_hz / 1e9:.0f} GHz"],
+        ["NPU memory capacity", f"{npu.memory_capacity_bytes / 1024 ** 3:.0f} GB"],
+        ["NPU internal bandwidth", f"{npu.memory_bandwidth_gbs:.0f} GB/s"],
+        ["PIM banks / bankgroup", pim.banks_per_bankgroup],
+        ["PIM banks / channel", pim.banks_per_channel],
+        ["PIM frequency", f"{pim.frequency_hz / 1e9:.0f} GHz"],
+        ["PIM memory capacity", f"{pim.memory_capacity_bytes / 1024 ** 3:.0f} GB"],
+        ["PIM internal bandwidth", f"{pim.internal_bandwidth_gbs / 1000:.0f} TB/s"],
+        ["Inter-device link bandwidth", f"{link.bandwidth_gbs:.0f} GB/s"],
+        ["Inter-device link latency", f"{link.latency_s * 1e9:.0f} ns"],
+    ]
+
+
+def test_table1_hardware_specification(benchmark):
+    rows = run_once(benchmark, build_spec_rows)
+    print_table("Table I: LLMServingSim hardware specification", ["parameter", "value"], rows)
+
+    values = dict((r[0], r[1]) for r in rows)
+    assert values["NPU systolic array"] == "128x128"
+    assert values["NPU memory capacity"] == "24 GB"
+    assert values["NPU internal bandwidth"] == "936 GB/s"
+    assert values["PIM banks / channel"] == 32
+    assert values["PIM memory capacity"] == "32 GB"
+    assert values["PIM internal bandwidth"] == "1 TB/s"
+    assert values["Inter-device link bandwidth"] == "64 GB/s"
+    assert values["Inter-device link latency"] == "100 ns"

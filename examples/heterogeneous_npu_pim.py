@@ -1,0 +1,74 @@
+"""Heterogeneous serving: NPU-only versus NPU+PIM with sub-batch interleaving.
+
+Reproduces the scenario motivating Section IV-B of the paper: the
+generation-phase attention operators are memory-bound GEMVs, so offloading
+them to PIM devices (and overlapping sub-batches across the NPU and PIM
+engines) raises serving throughput.  The example serves the same ShareGPT-like
+burst of requests (long contexts, so attention traffic dominates) on three
+system configurations and prints the comparison.
+
+Run with::
+
+    python examples/heterogeneous_npu_pim.py
+"""
+
+from repro import LLMServingSim, ServingSimConfig
+from repro.analysis import print_table
+from repro.workload import BurstArrivalGenerator
+
+
+def run_config(label: str, pim_type: str, sub_batch: bool, requests) -> dict:
+    config = ServingSimConfig(
+        model_name="gpt3-7b",
+        npu_num=4,
+        npu_group=1,
+        pim_type=pim_type,
+        sub_batch=sub_batch,
+        max_batch=32,
+    )
+    result = LLMServingSim(config).run([r for r in requests])
+    return {
+        "label": label,
+        "generation_throughput": result.generation_throughput,
+        "total_throughput": result.total_throughput,
+        "makespan": result.makespan,
+    }
+
+
+def main() -> None:
+    # A fresh copy of the same burst workload for each configuration (request
+    # objects carry mutable progress state, so they cannot be shared).
+    def workload():
+        return BurstArrivalGenerator("sharegpt", seed=11).generate(48).requests
+
+    rows = []
+    for label, pim_type, sub_batch in [
+        ("NPU only", "none", False),
+        ("NPU + local PIM", "local", False),
+        ("NPU + local PIM + sub-batch", "local", True),
+    ]:
+        outcome = run_config(label, pim_type, sub_batch, workload())
+        rows.append([
+            outcome["label"],
+            f"{outcome['generation_throughput']:.1f}",
+            f"{outcome['total_throughput']:.1f}",
+            f"{outcome['makespan']:.2f}",
+        ])
+
+    print_table(
+        "GPT3-7B, 4 NPUs, 48 ShareGPT-like requests (burst arrival)",
+        ["configuration", "gen tok/s", "total tok/s", "makespan (s)"],
+        rows,
+    )
+    print(
+        "\nWith Table I hardware the PIM's internal bandwidth (1 TB/s) is close to the NPU's\n"
+        "local bandwidth (936 GB/s), so offloading the generation-phase attention is roughly\n"
+        "performance-neutral at this batch size: the benefit of the heterogeneous system is\n"
+        "freeing NPU cycles and enabling overlap.  Sub-batch interleaving re-reads the model\n"
+        "weights once per sub-batch, so it only pays off once batches are large enough for the\n"
+        "batched GEMMs to be compute-bound (the NeuPIMs operating point with batches of 256+);\n"
+        "at small batch sizes the simulator correctly shows it as a slowdown.")
+
+
+if __name__ == "__main__":
+    main()

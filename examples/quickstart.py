@@ -1,0 +1,50 @@
+"""Quickstart: simulate serving GPT3-7B on a 4-NPU system.
+
+Generates a small Poisson request trace with ShareGPT-like lengths, runs the
+LLMServingSim co-simulation loop, and prints the serving metrics plus the
+throughput-over-time series — the minimal end-to-end use of the public API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import LLMServingSim, ServingSimConfig, generate_trace
+from repro.analysis import print_series, print_table
+
+
+def main() -> None:
+    config = ServingSimConfig(
+        model_name="gpt3-7b",
+        npu_num=4,          # four Table-I NPUs (comparable to the paper's 4x RTX 3090)
+        npu_group=1,        # single group -> pure tensor parallelism inside it
+        scheduling="orca",  # iteration-level scheduling
+        kv_manage="vllm",   # paged KV cache
+    )
+    trace = generate_trace("sharegpt", num_requests=24, arrival="poisson",
+                           rate_per_second=1.5, seed=7)
+
+    simulator = LLMServingSim(config)
+    result = simulator.run(trace)
+
+    print_table(
+        "Serving summary (GPT3-7B, 4 NPUs)",
+        ["metric", "value"],
+        [
+            ["requests finished", f"{len(result.finished_requests)}/{len(result.requests)}"],
+            ["iterations", len(result.iterations)],
+            ["simulated makespan (s)", f"{result.makespan:.2f}"],
+            ["prompt throughput (tok/s)", f"{result.prompt_throughput:.1f}"],
+            ["generation throughput (tok/s)", f"{result.generation_throughput:.1f}"],
+            ["mean time-to-first-token (s)", f"{result.mean_time_to_first_token():.3f}"],
+            ["mean end-to-end latency (s)", f"{result.mean_end_to_end_latency():.3f}"],
+        ],
+    )
+
+    series = [(p.time, p.generation_throughput) for p in result.throughput_series(bin_seconds=5.0)]
+    print_series("Generation throughput over time", series,
+                 x_label="time (s)", y_label="tokens/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a pure-Python reproduction of LLMServingSim (IISWC 2024).
+
+LLMServingSim is a hardware/software co-simulation infrastructure for LLM
+inference serving at scale.  This package re-implements the full system —
+model operator graphs, request workloads, the Orca-style iteration-level
+scheduler with vLLM paged KV caching, a pluggable execution-engine stack
+(NPU systolic-array, PIM and GPU cost models), the Chakra-style graph
+converter with tensor/pipeline/hybrid parallelism, and an ASTRA-sim-style
+discrete-event system simulator — plus the baselines and benchmark harnesses
+needed to regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import LLMServingSim, ServingSimConfig, generate_trace
+
+    config = ServingSimConfig(model_name="gpt3-7b", npu_num=4)
+    trace = generate_trace("sharegpt", num_requests=32, rate_per_second=1.0)
+    result = LLMServingSim(config).run(trace)
+    print(result.generation_throughput, "tokens/s")
+"""
+
+from .core.config import ServingSimConfig
+from .core.results import IterationRecord, ServingResult, ThroughputPoint
+from .core.simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
+from .core.simulator import LLMServingSim
+from .graph.parallelism import ParallelismStrategy
+from .models.architectures import ModelConfig, available_models, get_model, register_model
+from .workload.generator import RequestTrace, generate_trace
+from .workload.request import Request, RequestState
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "LLMServingSim", "ServingSimConfig", "ServingResult", "IterationRecord", "ThroughputPoint",
+    "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
+    "ParallelismStrategy",
+    "ModelConfig", "available_models", "get_model", "register_model",
+    "RequestTrace", "generate_trace", "Request", "RequestState",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Analysis helpers: error metrics and text reporting for tables and figures."""
+
+from .metrics import (align_series, geometric_mean_error, mean_absolute_percentage_error,
+                      relative_error, series_error)
+from .reporting import format_series, format_table, print_series, print_table
+
+__all__ = [
+    "align_series", "geometric_mean_error", "mean_absolute_percentage_error",
+    "relative_error", "series_error",
+    "format_series", "format_table", "print_series", "print_table",
+]

@@ -1,0 +1,84 @@
+"""Error metrics used by the validation experiments.
+
+The paper reports an average error rate of 14.7 % against the GPU serving
+system (Figure 6) and a geometric-mean error of 8.88 % against NeuPIMs
+(Figure 7).  This module implements those metrics: per-point relative
+errors, mean absolute percentage error over aligned throughput series, and
+the geometric mean of per-configuration error ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["relative_error", "mean_absolute_percentage_error", "geometric_mean_error",
+           "align_series", "series_error"]
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Absolute relative error ``|measured - reference| / reference``.
+
+    A zero reference with a zero measurement is a perfect match (0.0); a zero
+    reference with a non-zero measurement is treated as 100 % error.
+    """
+    if reference == 0:
+        return 0.0 if measured == 0 else 1.0
+    return abs(measured - reference) / abs(reference)
+
+
+def mean_absolute_percentage_error(measured: Sequence[float], reference: Sequence[float]) -> float:
+    """Mean of per-point relative errors over two equal-length series."""
+    if len(measured) != len(reference):
+        raise ValueError("series must have the same length")
+    if not measured:
+        return 0.0
+    return sum(relative_error(m, r) for m, r in zip(measured, reference)) / len(measured)
+
+
+def geometric_mean_error(errors: Iterable[float]) -> float:
+    """Geometric mean of error values (each expressed as a fraction).
+
+    Zero errors are floored at 0.1 % so the geometric mean remains defined,
+    matching common practice in the systems literature.
+    """
+    values = [max(1e-3, e) for e in errors]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def align_series(series_a: Sequence[Tuple[float, float]],
+                 series_b: Sequence[Tuple[float, float]]) -> List[Tuple[float, float, float]]:
+    """Align two (time, value) series on their common time bins.
+
+    Returns a list of ``(time, value_a, value_b)`` tuples for every time
+    present in both series.
+    """
+    lookup = {round(t, 6): v for t, v in series_b}
+    aligned = []
+    for t, value in series_a:
+        key = round(t, 6)
+        if key in lookup:
+            aligned.append((t, value, lookup[key]))
+    return aligned
+
+
+def series_error(series_a: Sequence[Tuple[float, float]],
+                 series_b: Sequence[Tuple[float, float]],
+                 skip_empty_bins: bool = True) -> float:
+    """Average relative error between two aligned throughput-over-time series.
+
+    ``series_b`` is the reference.  Bins where the reference is zero (no
+    traffic) are skipped by default, since comparing idle periods would
+    artificially deflate or inflate the error.
+    """
+    aligned = align_series(series_a, series_b)
+    errors = []
+    for _, value_a, value_b in aligned:
+        if skip_empty_bins and value_b == 0:
+            continue
+        errors.append(relative_error(value_a, value_b))
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)

@@ -1,0 +1,53 @@
+"""Plain-text table and series rendering for the benchmark harnesses.
+
+Every benchmark prints the rows / series of the corresponding paper table or
+figure.  These helpers keep that output consistent: fixed-width tables with
+a title, and (time, value) series rendered as aligned columns so the shape
+of a figure can be read directly from the benchmark log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = [f"== {title} ==", line(list(headers)), line(["-" * w for w in widths])]
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def format_series(title: str, series: Sequence[Tuple[float, float]],
+                  x_label: str = "time", y_label: str = "value") -> str:
+    """Render a (x, y) series as two aligned columns."""
+    rows = [(f"{x:.1f}", f"{y:.2f}") for x, y in series]
+    return format_table(title, [x_label, y_label], rows)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    print("\n" + format_table(title, headers, rows))
+
+
+def print_series(title: str, series: Sequence[Tuple[float, float]],
+                 x_label: str = "time", y_label: str = "value") -> None:
+    print("\n" + format_series(title, series, x_label, y_label))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.01 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,13 @@
+"""Baselines: the reference systems and simulators LLMServingSim is compared against."""
+
+from .neupims import NeuPIMsConfig, NeuPIMsReference
+from .simcost import (GENESYS, MNPUSIM, NEUPIMS_SIM, BaselineSimulatorModel,
+                      baseline_simulators, iteration_simulated_cycles)
+from .vllm_reference import VLLMReferenceConfig, VLLMReferenceSystem
+
+__all__ = [
+    "NeuPIMsConfig", "NeuPIMsReference",
+    "GENESYS", "MNPUSIM", "NEUPIMS_SIM", "BaselineSimulatorModel",
+    "baseline_simulators", "iteration_simulated_cycles",
+    "VLLMReferenceConfig", "VLLMReferenceSystem",
+]

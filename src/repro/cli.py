@@ -1,0 +1,114 @@
+"""Command-line interface mirroring the original artifact's entry point.
+
+Example::
+
+    llmservingsim --model-name gpt3-7b --npu-num 4 --dataset sharegpt \
+        --num-requests 64 --rate 1.0 --output out/run1
+
+produces the artifact's three outputs: a standard-output summary plus the
+``*-throughput.tsv`` and ``*-simulation-time.tsv`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.config import ServingSimConfig
+from .core.simulator import LLMServingSim
+from .graph.parallelism import ParallelismStrategy
+from .workload.generator import generate_trace
+from .workload.trace_io import read_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="llmservingsim",
+        description="LLM inference serving HW/SW co-simulation (LLMServingSim reproduction)")
+    parser.add_argument("--model-name", default="gpt3-7b", help="model to serve")
+    parser.add_argument("--npu-num", type=int, default=16, help="number of NPUs")
+    parser.add_argument("--npu-group", type=int, default=1, help="NPU groups for hybrid parallelism")
+    parser.add_argument("--npu-mem", type=float, default=24.0, help="NPU local memory in GB")
+    parser.add_argument("--max-batch", type=int, default=0, help="maximum batch size (0 = unlimited)")
+    parser.add_argument("--batch-delay", type=float, default=0.0, help="batching delay in seconds")
+    parser.add_argument("--scheduling", choices=["orca", "static"], default="orca")
+    parser.add_argument("--parallel", choices=["tensor", "pipeline", "hybrid"], default="hybrid")
+    parser.add_argument("--kv-manage", choices=["vllm", "max"], default="vllm")
+    parser.add_argument("--pim-type", choices=["none", "local", "pool"], default="none")
+    parser.add_argument("--sub-batch", action="store_true", help="enable sub-batch interleaving")
+    parser.add_argument("--no-reuse", action="store_true",
+                        help="disable computation-reuse optimizations")
+    parser.add_argument("--dataset", default="sharegpt", help="dataset profile or 'file'")
+    parser.add_argument("--trace-file", default=None, help="TSV trace file to replay")
+    parser.add_argument("--num-requests", type=int, default=64)
+    parser.add_argument("--rate", type=float, default=1.0, help="Poisson arrival rate (req/s)")
+    parser.add_argument("--arrival", choices=["poisson", "burst"], default="poisson")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iterations", type=int, default=None)
+    parser.add_argument("--output", default=None, help="output path prefix for TSV files")
+    parser.add_argument("--bin-seconds", type=float, default=30.0,
+                        help="throughput reporting interval")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    config = ServingSimConfig(
+        model_name=args.model_name,
+        npu_num=args.npu_num,
+        npu_group=args.npu_group,
+        npu_mem_gb=args.npu_mem,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay,
+        scheduling=args.scheduling,
+        parallel=ParallelismStrategy(args.parallel),
+        kv_manage=args.kv_manage,
+        pim_type=args.pim_type,
+        sub_batch=args.sub_batch,
+        enable_block_reuse=not args.no_reuse,
+        enable_computation_reuse=not args.no_reuse,
+        seed=args.seed,
+    )
+
+    if args.trace_file:
+        trace = read_trace(args.trace_file, dataset=args.dataset)
+    else:
+        trace = generate_trace(args.dataset, args.num_requests, arrival=args.arrival,
+                               rate_per_second=args.rate, seed=args.seed)
+
+    simulator = LLMServingSim(config)
+    result = simulator.run(trace, max_iterations=args.max_iterations)
+
+    print(f"model                 : {config.model_name}")
+    print(f"npus                  : {config.npu_num} ({config.parallel.value} parallelism, "
+          f"{config.effective_groups} group(s))")
+    print(f"requests              : {len(result.finished_requests)}/{len(result.requests)} finished")
+    print(f"iterations            : {len(result.iterations)}")
+    print(f"simulated makespan    : {result.makespan:.2f} s")
+    print(f"prompt throughput     : {result.prompt_throughput:.1f} tokens/s")
+    print(f"generation throughput : {result.generation_throughput:.1f} tokens/s")
+    print(f"mean TTFT             : {result.mean_time_to_first_token():.3f} s")
+    print(f"mean E2E latency      : {result.mean_end_to_end_latency():.3f} s")
+    print(f"modeled sim time      : {result.modeled_simulation_time.total:.1f} s "
+          f"({result.modeled_simulation_time.as_dict()})")
+
+    if args.output:
+        prefix = Path(args.output)
+        throughput_path = result.write_throughput_tsv(
+            prefix.with_name(prefix.name + "-throughput.tsv"), bin_seconds=args.bin_seconds)
+        simtime_path = result.write_simulation_time_tsv(
+            prefix.with_name(prefix.name + "-simulation-time.tsv"))
+        print(f"wrote {throughput_path}")
+        print(f"wrote {simtime_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Core package: configuration, orchestration loop, results and simulation-time accounting."""
+
+from .config import ServingSimConfig
+from .results import IterationRecord, ServingResult, ThroughputPoint
+from .simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
+from .simulator import LLMServingSim
+
+__all__ = [
+    "ServingSimConfig",
+    "IterationRecord", "ServingResult", "ThroughputPoint",
+    "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
+    "LLMServingSim",
+]

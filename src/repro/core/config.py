@@ -1,0 +1,133 @@
+"""Top-level simulation configuration.
+
+:class:`ServingSimConfig` mirrors the input parameters of the original
+artifact (Appendix G: ``model_name``, ``npu_num``, ``max_batch``,
+``batch_delay``, ``scheduling``, ``parallel``, ``npu_group``, ``npu_mem``,
+``kv_manage``, ``pim_type``, ``sub_batch``, ...) and adds the knobs specific
+to this re-implementation (computation-reuse switches, graph granularity,
+network configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine.npu import NPUConfig, TABLE1_NPU
+from ..engine.pim import PIMConfig, TABLE1_PIM
+from ..graph.converter import GraphGranularity
+from ..graph.parallelism import ParallelismStrategy
+from ..system.network import NetworkConfig
+from ..system.topology import PIMMode
+from .simtime import SimTimeCalibration
+
+__all__ = ["ServingSimConfig"]
+
+
+@dataclass
+class ServingSimConfig:
+    """Configuration of one LLMServingSim run.
+
+    Attributes
+    ----------
+    model_name:
+        Registered model to serve (e.g. ``"gpt3-7b"``).
+    npu_num:
+        Number of compute devices (the artifact's default is 16).
+    npu_group:
+        Number of pipeline-parallel groups for hybrid parallelism.
+    parallel:
+        Parallelism strategy (tensor / pipeline / hybrid).
+    scheduling:
+        Scheduling policy: ``"orca"`` (iteration-level) or ``"static"``.
+    max_batch:
+        Maximum requests per batch; 0 means unlimited.
+    batch_delay:
+        Minimum queueing delay before a request may be admitted (seconds).
+    npu_mem_gb:
+        Local memory per compute device in GB (artifact default 40 is for
+        A100-class devices; Table I's NPU has 24).
+    kv_manage:
+        KV-cache management scheme: ``"vllm"`` (paged) or ``"max"``.
+    kv_page_tokens:
+        Page size in tokens for the paged manager.
+    pim_type:
+        PIM provisioning: ``"none"``, ``"local"`` or ``"pool"``.
+    sub_batch:
+        Enable NeuPIMs-style sub-batch interleaving (requires PIM).
+    num_sub_batches:
+        Number of sub-batches when interleaving is enabled.
+    enable_block_reuse / enable_computation_reuse:
+        The two fast-simulation techniques of Section IV-C.
+    graph_granularity:
+        Execution-graph detail level.
+    npu_config / pim_config / network:
+        Hardware and interconnect parameters (Table I defaults).
+    calibration:
+        Simulation-time calibration constants.
+    skip_initiation:
+        The artifact's ``gen`` flag: start every request directly in the
+        generation phase (prompt treated as already cached).
+    seed:
+        Random seed for workload generation helpers.
+    """
+
+    model_name: str = "gpt3-7b"
+    npu_num: int = 16
+    npu_group: int = 1
+    parallel: ParallelismStrategy = ParallelismStrategy.HYBRID
+    scheduling: str = "orca"
+    max_batch: int = 0
+    batch_delay: float = 0.0
+    npu_mem_gb: float = 24.0
+    kv_manage: str = "vllm"
+    kv_page_tokens: int = 16
+    pim_type: str = "none"
+    sub_batch: bool = False
+    num_sub_batches: int = 2
+    enable_block_reuse: bool = True
+    enable_computation_reuse: bool = True
+    graph_granularity: GraphGranularity = GraphGranularity.OPERATOR
+    npu_config: NPUConfig = field(default_factory=lambda: TABLE1_NPU)
+    pim_config: PIMConfig = field(default_factory=lambda: TABLE1_PIM)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    calibration: SimTimeCalibration = field(default_factory=SimTimeCalibration)
+    skip_initiation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.npu_num <= 0:
+            raise ValueError("npu_num must be positive")
+        if self.npu_group <= 0:
+            raise ValueError("npu_group must be positive")
+        if self.npu_num % self.npu_group != 0:
+            raise ValueError("npu_num must be divisible by npu_group")
+        if self.npu_mem_gb <= 0:
+            raise ValueError("npu_mem_gb must be positive")
+        if self.pim_type not in ("none", "local", "pool"):
+            raise ValueError("pim_type must be 'none', 'local' or 'pool'")
+        if self.sub_batch and self.pim_type == "none":
+            raise ValueError("sub_batch interleaving requires a PIM-enabled system")
+        if self.num_sub_batches <= 0:
+            raise ValueError("num_sub_batches must be positive")
+        if isinstance(self.parallel, str):
+            self.parallel = ParallelismStrategy(self.parallel)
+        if isinstance(self.graph_granularity, str):
+            self.graph_granularity = GraphGranularity(self.graph_granularity)
+
+    @property
+    def pim_mode(self) -> PIMMode:
+        return PIMMode(self.pim_type)
+
+    @property
+    def npu_mem_bytes(self) -> int:
+        return int(self.npu_mem_gb * 1024 ** 3)
+
+    @property
+    def effective_groups(self) -> int:
+        """Number of device groups implied by the parallelism strategy."""
+        if self.parallel is ParallelismStrategy.TENSOR:
+            return 1
+        if self.parallel is ParallelismStrategy.PIPELINE:
+            return self.npu_num
+        return self.npu_group

@@ -1,0 +1,162 @@
+"""Simulation-time accounting (the "how long does the simulator take" model).
+
+The paper evaluates LLMServingSim not only on the accuracy of the serving
+behaviour it predicts but also on how long the *simulation itself* takes
+(Figures 2(a), 8, 9 and 10).  The original artifact measures wall-clock time
+of its C++/Python components; those absolute numbers depend on the
+third-party compiler and simulators (PolyMath, GeneSys, ASTRA-sim) that are
+not available here.
+
+This module therefore tracks two things per component:
+
+* **measured** wall-clock seconds of this re-implementation's components,
+  useful for relative comparisons on the machine running the benchmarks; and
+* **modeled** seconds derived from work counters (operators compiled,
+  operators simulated, execution-graph nodes, collective participants)
+  multiplied by calibration constants chosen so the *shape* of the paper's
+  results holds: compilation/simulation dominates without reuse, reuse gives
+  a ~6-12x reduction, ASTRA-sim's share grows with the tensor-parallel
+  degree, and total time grows with the number of NPUs.
+
+The four components match Figure 9's breakdown: scheduler, execution engine
+stack (compiler + hardware simulators), graph converter, and ASTRA-sim
+(system simulation).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from ..engine.stack import EngineStackReport
+from ..graph.converter import ConversionStats
+
+__all__ = ["SimTimeCalibration", "ComponentTimes", "SimTimeTracker"]
+
+#: Component names used throughout the reports (Figure 9's legend).
+COMPONENTS = ("scheduler", "engine", "graph_converter", "system_sim")
+
+
+@dataclass(frozen=True)
+class SimTimeCalibration:
+    """Calibration constants of the modeled simulation-time accounting.
+
+    The defaults reproduce the scale of Figure 9: a GPT3-30B iteration with
+    batch 64 over 64 NPUs costs ~200 s of modeled simulation time without
+    reuse and ~16-33 s with reuse depending on the parallelism strategy.
+
+    Attributes
+    ----------
+    compile_seconds_per_operator:
+        Cost of compiling one operator in the engine stack.
+    simulate_seconds_per_non_attention_operator:
+        Cost of cycle-level simulation of one non-attention operator
+        (cache misses only).
+    simulate_seconds_per_attention_operator:
+        Cost of simulating one attention operator (cheaper, per the paper).
+    scheduler_seconds_per_iteration:
+        Fixed scheduling cost per iteration.
+    scheduler_seconds_per_request:
+        Additional scheduling cost per batched request.
+    graph_seconds_per_node:
+        Graph-converter cost per produced execution-graph node.
+    graph_seconds_base:
+        Fixed graph-converter cost per iteration.
+    system_seconds_per_node:
+        ASTRA-sim cost per execution-graph node.
+    system_seconds_per_collective_participant:
+        ASTRA-sim cost per (collective x participant), modeling the ring
+        phases of each collective.
+    system_seconds_base:
+        Fixed ASTRA-sim start-up cost per iteration.
+    """
+
+    compile_seconds_per_operator: float = 0.012
+    simulate_seconds_per_non_attention_operator: float = 0.020
+    simulate_seconds_per_attention_operator: float = 0.006
+    scheduler_seconds_per_iteration: float = 0.20
+    scheduler_seconds_per_request: float = 0.001
+    graph_seconds_per_node: float = 0.00003
+    graph_seconds_base: float = 0.4
+    system_seconds_per_node: float = 0.0004
+    system_seconds_per_collective_participant: float = 0.001
+    system_seconds_base: float = 8.0
+
+
+@dataclass
+class ComponentTimes:
+    """Per-component seconds (measured or modeled)."""
+
+    scheduler: float = 0.0
+    engine: float = 0.0
+    graph_converter: float = 0.0
+    system_sim: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.scheduler + self.engine + self.graph_converter + self.system_sim
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scheduler": self.scheduler,
+            "engine": self.engine,
+            "graph_converter": self.graph_converter,
+            "system_sim": self.system_sim,
+        }
+
+    def add(self, other: "ComponentTimes") -> None:
+        self.scheduler += other.scheduler
+        self.engine += other.engine
+        self.graph_converter += other.graph_converter
+        self.system_sim += other.system_sim
+
+
+class SimTimeTracker:
+    """Accumulates measured and modeled simulation time across iterations."""
+
+    def __init__(self, calibration: SimTimeCalibration = SimTimeCalibration()) -> None:
+        self.calibration = calibration
+        self.measured = ComponentTimes()
+        self.modeled = ComponentTimes()
+        self.iterations = 0
+
+    # -- measured wall clock ---------------------------------------------------
+
+    @contextmanager
+    def measure(self, component: str) -> Iterator[None]:
+        """Context manager adding elapsed wall-clock time to a component."""
+        if component not in COMPONENTS:
+            raise ValueError(f"unknown component {component!r}; expected one of {COMPONENTS}")
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            setattr(self.measured, component, getattr(self.measured, component) + elapsed)
+
+    # -- modeled accounting ------------------------------------------------------
+
+    def account_iteration(self, engine_report: EngineStackReport,
+                          graph_stats: ConversionStats, num_requests: int) -> ComponentTimes:
+        """Add one iteration's modeled component times and return them."""
+        cal = self.calibration
+        iteration = ComponentTimes()
+        iteration.scheduler = (cal.scheduler_seconds_per_iteration
+                               + cal.scheduler_seconds_per_request * num_requests)
+        iteration.engine = (
+            engine_report.compile_report.compiled_operators * cal.compile_seconds_per_operator
+            + engine_report.simulated_non_attention_operators
+            * cal.simulate_seconds_per_non_attention_operator
+            + engine_report.simulated_attention_operators
+            * cal.simulate_seconds_per_attention_operator)
+        iteration.graph_converter = (cal.graph_seconds_base
+                                     + cal.graph_seconds_per_node * graph_stats.total_nodes)
+        iteration.system_sim = (
+            cal.system_seconds_base
+            + cal.system_seconds_per_node * graph_stats.total_nodes
+            + cal.system_seconds_per_collective_participant * graph_stats.collective_participants)
+        self.modeled.add(iteration)
+        self.iterations += 1
+        return iteration

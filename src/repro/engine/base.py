@@ -1,0 +1,83 @@
+"""Execution-engine plug-in interface.
+
+LLMServingSim treats accelerator compiler-and-simulator stacks as plug-ins:
+any hardware that can turn an operator into a latency estimate can be
+attached to the serving simulator.  :class:`ExecutionEngine` is the abstract
+interface every plug-in implements; :class:`OperatorEstimate` is the result
+it returns.  The built-in plug-ins are the NPU systolic-array engine
+(:mod:`repro.engine.npu`), the PIM engine (:mod:`repro.engine.pim`) and a GPU
+roofline engine (:mod:`repro.engine.gpu`) used for the vLLM reference system.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..models.layers import Operator
+from ..system.topology import DeviceType
+
+__all__ = ["OperatorEstimate", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class OperatorEstimate:
+    """Latency estimate for one operator on one device.
+
+    Attributes
+    ----------
+    latency:
+        Wall-clock execution time in seconds on a single device.
+    compute_time:
+        Time the operator would take if it were purely compute bound.
+    memory_time:
+        Time the operator would take if it were purely memory bound.
+    simulated_cycles:
+        Number of device cycles the hardware simulator had to model; this is
+        the work-unit count used by the simulation-time cost accounting.
+    """
+
+    latency: float
+    compute_time: float
+    memory_time: float
+    simulated_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True when the memory term dominates the estimate."""
+        return self.memory_time >= self.compute_time
+
+
+class ExecutionEngine(abc.ABC):
+    """Abstract accelerator compiler-and-simulator stack.
+
+    Concrete engines provide a :attr:`device_type`, an analytical
+    :meth:`estimate` for a single operator, and engine-specific constants via
+    their constructors.  Engines must be stateless with respect to
+    estimation: the same operator always yields the same estimate, which is
+    what makes the computation-reuse cache sound.
+    """
+
+    #: Device class the engine simulates; overridden by subclasses.
+    device_type: DeviceType = DeviceType.NPU
+
+    @property
+    def name(self) -> str:
+        """Engine name used in reports."""
+        return f"{self.device_type.value}-engine"
+
+    @abc.abstractmethod
+    def estimate(self, operator: Operator) -> OperatorEstimate:
+        """Estimate the execution of ``operator`` on one device of this class."""
+
+    def supports(self, operator: Operator) -> bool:
+        """Whether this engine can execute the operator at all.
+
+        The default accepts everything; restricted engines (e.g. PIM, which
+        only runs memory-bound GEMV-class work) override this.
+        """
+        return True

@@ -1,0 +1,116 @@
+"""Compiler model with transformer-block replication reuse.
+
+The paper identifies model compilation (PolyMath in the artifact) as a major
+bottleneck of the execution-engine stack and removes most of it with "model
+redundancy reuse": because every transformer block of a decoder LLM has the
+same structure, only one block is compiled and the result is replicated
+across all ``num_layers`` blocks.
+
+This module models that behaviour.  Compilation itself is symbolic here — the
+analytical engines need no lowering — but the *cost* of compilation is
+accounted in work units so the simulation-time experiments (Figures 8, 9 and
+10) can reproduce the with/without-reuse gap.  A compiled-artifact cache
+additionally skips recompilation of previously seen (operator-shape, engine)
+combinations across iterations, mirroring the artifact's caching of compiled
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..models.graph import IterationGraph
+from ..models.layers import Operator
+
+__all__ = ["CompileReport", "CompilerModel"]
+
+
+@dataclass
+class CompileReport:
+    """Accounting of one iteration's compilation work.
+
+    Attributes
+    ----------
+    compiled_operators:
+        Number of operators actually compiled this iteration.
+    replicated_operators:
+        Number of operators whose compiled form was obtained by replicating
+        another block's result (model redundancy reuse).
+    cached_operators:
+        Number of operators skipped entirely because an identical shape was
+        compiled in a previous iteration.
+    modeled_time_s:
+        Modeled compilation time in seconds.
+    """
+
+    compiled_operators: int = 0
+    replicated_operators: int = 0
+    cached_operators: int = 0
+    modeled_time_s: float = 0.0
+
+    @property
+    def total_operators(self) -> int:
+        return self.compiled_operators + self.replicated_operators + self.cached_operators
+
+
+class CompilerModel:
+    """Models per-iteration compilation cost of the execution-engine stack.
+
+    Parameters
+    ----------
+    seconds_per_operator:
+        Modeled cost of compiling a single operator.  The default is
+        calibrated so that compiling a full GPT3-30B iteration (batch 64)
+        without any reuse contributes on the order of 100 s of engine-stack
+        time, matching the scale of Figure 9's "without reuse" bars.
+    enable_block_reuse:
+        Compile one transformer block and replicate it (Section IV-C).
+    enable_cross_iteration_cache:
+        Skip compilation of operator shapes seen in earlier iterations.
+    """
+
+    def __init__(self, seconds_per_operator: float = 0.012,
+                 enable_block_reuse: bool = True,
+                 enable_cross_iteration_cache: bool = True) -> None:
+        if seconds_per_operator < 0:
+            raise ValueError("seconds_per_operator must be non-negative")
+        self.seconds_per_operator = seconds_per_operator
+        self.enable_block_reuse = enable_block_reuse
+        self.enable_cross_iteration_cache = enable_cross_iteration_cache
+        self._compiled_signatures: Set[Tuple] = set()
+
+    def reset(self) -> None:
+        """Forget all previously compiled shapes (start of a new simulation)."""
+        self._compiled_signatures.clear()
+
+    # -- compilation accounting ----------------------------------------------
+
+    def compile_iteration(self, graph: IterationGraph) -> CompileReport:
+        """Account the compilation work for one iteration's model graph."""
+        report = CompileReport()
+
+        block_ops = list(graph.block_operators)
+        other_ops = list(graph.embedding_operators) + list(graph.head_operators)
+
+        if self.enable_block_reuse:
+            # One block is compiled; the remaining (num_blocks - 1) copies are
+            # replicas of the compiled artifact.
+            self._compile_ops(block_ops, report)
+            report.replicated_operators += len(block_ops) * (graph.num_blocks - 1)
+        else:
+            for _ in range(graph.num_blocks):
+                self._compile_ops(block_ops, report)
+        self._compile_ops(other_ops, report)
+
+        report.modeled_time_s = report.compiled_operators * self.seconds_per_operator
+        return report
+
+    def _compile_ops(self, operators: Iterable[Operator], report: CompileReport) -> None:
+        for op in operators:
+            signature = op.signature()
+            if self.enable_cross_iteration_cache and signature in self._compiled_signatures:
+                report.cached_operators += 1
+                continue
+            report.compiled_operators += 1
+            self._compiled_signatures.add(signature)

@@ -1,0 +1,99 @@
+"""Operator mapping onto heterogeneous accelerators.
+
+Section IV-B of the paper: in a heterogeneous system, memory-bound operators
+(the GEMV Score/Attend of the generation phase, softmax, layer
+normalization) are mapped to PIM devices and compute-bound operators (QKV
+generation, projections, FFN) to NPU devices.  Where the mapping decision is
+made depends on the topology: for locally attached PIM the execution engine
+decides internally, for PIM pools the scheduler decides and the graph
+converter inserts inter-pool transfers.
+
+The mapper here is the shared policy object used by both paths.  It is a
+"skeleton" interface in the paper's sense: users can subclass
+:class:`OperatorMapper` to explore alternative mapping strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..models.layers import Operator, OpType, Phase
+from ..system.topology import DeviceType, PIMMode
+
+__all__ = ["MappingDecision", "OperatorMapper", "HeterogeneousMapper", "HomogeneousMapper", "build_mapper"]
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The device class chosen for one operator."""
+
+    operator: Operator
+    engine: DeviceType
+
+
+class OperatorMapper:
+    """Base mapping policy: everything runs on the primary compute device."""
+
+    def __init__(self, primary: DeviceType = DeviceType.NPU) -> None:
+        self.primary = primary
+
+    def map_operator(self, operator: Operator) -> DeviceType:
+        """Device class for a single operator."""
+        return self.primary
+
+    def map_operators(self, operators: Iterable[Operator]) -> List[MappingDecision]:
+        """Map a whole operator list, preserving order."""
+        return [MappingDecision(op, self.map_operator(op)) for op in operators]
+
+    def split_by_engine(self, operators: Iterable[Operator]) -> Dict[DeviceType, List[Operator]]:
+        """Group operators by their mapped device class (the simulation plan)."""
+        plan: Dict[DeviceType, List[Operator]] = {}
+        for decision in self.map_operators(operators):
+            plan.setdefault(decision.engine, []).append(decision.operator)
+        return plan
+
+
+class HomogeneousMapper(OperatorMapper):
+    """All operators on a single device class (NPU-only or GPU-only systems)."""
+
+
+class HeterogeneousMapper(OperatorMapper):
+    """NPU + PIM mapping policy from the paper.
+
+    Parameters
+    ----------
+    map_layernorm_to_pim:
+        Whether to also offload layer normalization (memory bound, see the
+        roofline in Figure 2(b)) to PIM.  AttAcc/NeuPIMs-style systems do.
+    map_prefill_attention_to_pim:
+        Whether initiation-phase attention (GEMM-shaped) also goes to PIM.
+        Default False: prefill attention has enough arithmetic intensity for
+        the NPU, and NeuPIMs keeps it there.
+    """
+
+    def __init__(self, primary: DeviceType = DeviceType.NPU,
+                 map_layernorm_to_pim: bool = False,
+                 map_prefill_attention_to_pim: bool = False) -> None:
+        super().__init__(primary)
+        self.map_layernorm_to_pim = map_layernorm_to_pim
+        self.map_prefill_attention_to_pim = map_prefill_attention_to_pim
+
+    def map_operator(self, operator: Operator) -> DeviceType:
+        if operator.is_attention:
+            if operator.phase is Phase.GENERATION:
+                return DeviceType.PIM
+            if self.map_prefill_attention_to_pim:
+                return DeviceType.PIM
+            return self.primary
+        if self.map_layernorm_to_pim and operator.op_type is OpType.LAYERNORM:
+            return DeviceType.PIM
+        return self.primary
+
+
+def build_mapper(pim_mode: PIMMode, primary: DeviceType = DeviceType.NPU,
+                 **kwargs: bool) -> OperatorMapper:
+    """Choose the mapping policy implied by the system's PIM provisioning."""
+    if pim_mode is PIMMode.NONE:
+        return HomogeneousMapper(primary)
+    return HeterogeneousMapper(primary, **kwargs)

@@ -1,0 +1,109 @@
+"""PIM execution engine: bank-parallel GEMV cost model.
+
+Stand-in for the paper's in-house PIM simulator.  Processing-in-memory
+devices place a small compute unit next to every DRAM bank so memory-bound
+GEMV work (the Score and Attend operators of the generation phase) runs at
+the memory's aggregate internal bandwidth instead of the external interface
+bandwidth.  Table I gives the PIM configuration: 4 banks per bank group, 32
+banks per channel, 1 GHz, 32 GB capacity, 1 TB/s internal bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layers import Operator, OpType
+from ..system.topology import DeviceType
+from .base import ExecutionEngine, OperatorEstimate
+
+__all__ = ["PIMConfig", "PIMEngine", "TABLE1_PIM"]
+
+
+@dataclass(frozen=True)
+class PIMConfig:
+    """PIM hardware parameters (Table I of the paper).
+
+    Attributes
+    ----------
+    banks_per_bankgroup / banks_per_channel / num_channels:
+        DRAM organization; the product bounds the bank-level parallelism.
+    frequency_hz:
+        In-bank compute clock.
+    memory_capacity_bytes:
+        Device capacity.
+    internal_bandwidth_gbs:
+        Aggregate in-memory bandwidth available to the bank compute units.
+    macs_per_bank_per_cycle:
+        Multiply-accumulate throughput of one bank's compute unit.
+    launch_overhead_s:
+        Fixed per-operator command overhead from the host-side PIM controller.
+    """
+
+    banks_per_bankgroup: int = 4
+    banks_per_channel: int = 32
+    num_channels: int = 16
+    frequency_hz: float = 1e9
+    memory_capacity_bytes: int = 32 * 1024 ** 3
+    internal_bandwidth_gbs: float = 1000.0
+    macs_per_bank_per_cycle: int = 16
+    launch_overhead_s: float = 3e-6
+
+    def __post_init__(self) -> None:
+        if self.internal_bandwidth_gbs <= 0:
+            raise ValueError("internal bandwidth must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def total_banks(self) -> int:
+        return self.banks_per_channel * self.num_channels
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate MAC throughput across all banks in FLOP/s."""
+        return 2.0 * self.total_banks * self.macs_per_bank_per_cycle * self.frequency_hz
+
+
+#: The exact PIM configuration from Table I (as used by NeuPIMs).
+TABLE1_PIM = PIMConfig()
+
+
+class PIMEngine(ExecutionEngine):
+    """Analytical PIM simulator plug-in for memory-bound operators."""
+
+    device_type = DeviceType.PIM
+
+    #: Operator classes a PIM device is able to execute.
+    SUPPORTED_TYPES = (OpType.GEMV, OpType.SOFTMAX, OpType.LAYERNORM, OpType.VECTOR, OpType.GEMM)
+
+    def __init__(self, config: PIMConfig = TABLE1_PIM) -> None:
+        self.config = config
+
+    def supports(self, operator: Operator) -> bool:
+        """PIM executes memory-bound operator classes only.
+
+        GEMM is nominally supported (attention Score/Attend in the initiation
+        phase are small GEMMs), but compute-bound projection GEMMs should be
+        mapped to the NPU by the operator mapper; ``supports`` only states
+        capability, not preference.
+        """
+        return operator.op_type in self.SUPPORTED_TYPES
+
+    def estimate(self, operator: Operator) -> OperatorEstimate:
+        """Latency of one operator on a single PIM device.
+
+        The memory term uses the aggregate internal bandwidth; the compute
+        term uses the bank compute units.  Both are far higher than what the
+        external interface would allow, which is exactly the PIM advantage.
+        """
+        cfg = self.config
+        compute_time = operator.flops / cfg.peak_flops if cfg.peak_flops else 0.0
+        memory_time = operator.total_bytes / (cfg.internal_bandwidth_gbs * 1e9)
+        latency = max(compute_time, memory_time) + cfg.launch_overhead_s
+        cycles = max(compute_time, memory_time) * cfg.frequency_hz
+        return OperatorEstimate(
+            latency=latency,
+            compute_time=compute_time,
+            memory_time=memory_time,
+            simulated_cycles=cycles,
+        )

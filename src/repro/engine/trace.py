@@ -1,0 +1,100 @@
+"""Execution-engine trace format.
+
+Each execution engine (NPU, PIM, GPU) simulates the operators mapped to it
+and emits :class:`TraceEntry` records: the operator, the engine/device class
+that ran it, the estimated latency and whether the estimate came from the
+computation-reuse cache.  The operator scheduler merges per-engine traces
+into a single :class:`Trace` that the graph converter consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..models.layers import Operator
+from ..system.topology import DeviceType
+
+__all__ = ["TraceEntry", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One simulated operator in an engine trace.
+
+    Attributes
+    ----------
+    operator:
+        The operator that was simulated.
+    engine:
+        Device class the operator was mapped to.
+    latency:
+        Estimated execution latency in seconds on a single device.
+    compute_time / memory_time:
+        The compute-bound and memory-bound components of the latency (the
+        larger of the two dominates under the overlap model).
+    cached:
+        True if the estimate was served from the computation-reuse cache.
+    sub_batch:
+        Index of the sub-batch the operator belongs to (operator scheduling
+        interleaves sub-batches across heterogeneous engines).
+    """
+
+    operator: Operator
+    engine: DeviceType
+    latency: float
+    compute_time: float = 0.0
+    memory_time: float = 0.0
+    cached: bool = False
+    sub_batch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+@dataclass
+class Trace:
+    """An ordered collection of trace entries for one iteration."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: Iterable[TraceEntry]) -> None:
+        self.entries.extend(entries)
+
+    @property
+    def total_latency(self) -> float:
+        """Serial sum of all entry latencies."""
+        return sum(e.latency for e in self.entries)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.entries if e.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for e in self.entries if not e.cached)
+
+    def by_engine(self) -> Dict[DeviceType, List[TraceEntry]]:
+        """Group entries by the engine that produced them."""
+        grouped: Dict[DeviceType, List[TraceEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.engine, []).append(entry)
+        return grouped
+
+    def latency_by_engine(self) -> Dict[DeviceType, float]:
+        """Serial latency attributable to each engine."""
+        return {engine: sum(e.latency for e in entries)
+                for engine, entries in self.by_engine().items()}
+
+    def entries_for_sub_batch(self, sub_batch: int) -> List[TraceEntry]:
+        return [e for e in self.entries if e.sub_batch == sub_batch]

@@ -1,0 +1,13 @@
+"""Graph substrate: execution graphs, parallelism strategies and the graph converter."""
+
+from .collectives import CollectiveSizing
+from .converter import ConversionStats, GraphConverter, GraphGranularity
+from .execgraph import ExecutionGraph, GraphNode, GraphNodeType
+from .parallelism import ParallelismPlan, ParallelismStrategy, make_plan
+
+__all__ = [
+    "CollectiveSizing",
+    "ConversionStats", "GraphConverter", "GraphGranularity",
+    "ExecutionGraph", "GraphNode", "GraphNodeType",
+    "ParallelismPlan", "ParallelismStrategy", "make_plan",
+]

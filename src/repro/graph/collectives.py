@@ -1,0 +1,58 @@
+"""Collective-communication payload sizing for model parallelism.
+
+Tensor parallelism requires two all-reduces per transformer block (after the
+attention output projection and after the FFN down projection), each over
+the activations of every token processed this iteration.  Pipeline
+parallelism exchanges the same activation tensor between consecutive stages.
+This module centralizes those payload computations so the graph converter
+and the analytical baselines agree on communication volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.architectures import ModelConfig
+
+__all__ = ["CollectiveSizing"]
+
+
+@dataclass(frozen=True)
+class CollectiveSizing:
+    """Communication payload calculator for one model.
+
+    Attributes
+    ----------
+    model:
+        The model whose activations are being communicated.
+    """
+
+    model: ModelConfig
+
+    def activation_bytes(self, num_tokens: int) -> float:
+        """Bytes of one activation tensor for ``num_tokens`` tokens."""
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        return float(num_tokens * self.model.hidden_size * self.model.dtype_bytes)
+
+    def allreduce_bytes(self, num_tokens: int) -> float:
+        """Payload of one tensor-parallel all-reduce."""
+        return self.activation_bytes(num_tokens)
+
+    def allreduces_per_block(self, tensor_parallel: int) -> int:
+        """Number of all-reduces each transformer block needs.
+
+        Two for any tensor-parallel degree above one (attention output and
+        FFN output), zero otherwise.
+        """
+        return 2 if tensor_parallel > 1 else 0
+
+    def pipeline_transfer_bytes(self, num_tokens: int) -> float:
+        """Payload of the activation hand-off between pipeline stages."""
+        return self.activation_bytes(num_tokens)
+
+    def iteration_allreduce_bytes(self, num_tokens: int, tensor_parallel: int,
+                                  num_blocks: int) -> float:
+        """Total all-reduce traffic of a full iteration."""
+        per_block = self.allreduces_per_block(tensor_parallel) * self.allreduce_bytes(num_tokens)
+        return per_block * num_blocks

@@ -1,0 +1,243 @@
+"""Execution graph representation (the Chakra-graph substitute).
+
+The graph converter lowers hardware-simulation traces into an execution
+graph whose nodes are compute intervals, collective communications,
+point-to-point transfers and host<->device memory movements, each placed on
+a specific device of the system topology.  The system simulator
+(:mod:`repro.system.simulator`) walks this graph with a discrete-event
+engine to produce the iteration's end-to-end latency.
+
+The representation intentionally mirrors Chakra execution traces: nodes have
+explicit data dependencies and a device placement, and communication nodes
+carry byte counts rather than durations (the network model assigns their
+timing during system simulation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["GraphNodeType", "GraphNode", "ExecutionGraph"]
+
+
+class GraphNodeType(enum.Enum):
+    """Kind of work a graph node represents."""
+
+    COMPUTE = "compute"          # fixed-duration compute on one device
+    COLLECTIVE = "collective"    # all-reduce / all-gather across a device group
+    P2P = "p2p"                  # point-to-point activation transfer
+    MEMORY = "memory"            # host<->device KV-page transfer
+
+
+@dataclass
+class GraphNode:
+    """One node of the execution graph.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer id within the graph.
+    name:
+        Human-readable label (operator name, collective name, ...).
+    node_type:
+        The :class:`GraphNodeType`.
+    device:
+        Id of the device executing the node.  For collectives this is the
+        device *initiating* the collective; the participating group is given
+        by ``comm_group``.
+    duration:
+        Pre-computed execution time in seconds for COMPUTE nodes (assigned by
+        the execution engine stack).  Zero for communication nodes, whose
+        timing is derived from ``comm_bytes`` by the network model.
+    comm_bytes:
+        Payload size for COLLECTIVE / P2P / MEMORY nodes.
+    comm_group:
+        Devices participating in a collective.
+    peer_device:
+        Destination device for P2P nodes (source is ``device``).
+    deps:
+        Ids of nodes that must complete before this node may start.
+    metadata:
+        Free-form annotations (phase, block index, request id, ...).
+    """
+
+    node_id: int
+    name: str
+    node_type: GraphNodeType
+    device: int
+    duration: float = 0.0
+    comm_bytes: float = 0.0
+    comm_group: Sequence[int] = field(default_factory=tuple)
+    peer_device: Optional[int] = None
+    deps: Set[int] = field(default_factory=set)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.comm_bytes < 0:
+            raise ValueError("comm_bytes must be non-negative")
+        self.deps = set(self.deps)
+        self.comm_group = tuple(self.comm_group)
+
+
+class ExecutionGraph:
+    """A DAG of :class:`GraphNode` objects with device placement.
+
+    The graph owns node-id allocation; use :meth:`add_compute`,
+    :meth:`add_collective`, :meth:`add_p2p` and :meth:`add_memory` to build
+    it incrementally.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, GraphNode] = {}
+        self._next_id = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _allocate(self, node: GraphNode) -> GraphNode:
+        self._nodes[node.node_id] = node
+        return node
+
+    def _new_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def add_compute(self, name: str, device: int, duration: float,
+                    deps: Iterable[int] = (), **metadata: object) -> GraphNode:
+        """Add a fixed-duration compute node."""
+        return self._allocate(GraphNode(
+            node_id=self._new_id(), name=name, node_type=GraphNodeType.COMPUTE,
+            device=device, duration=duration, deps=set(deps), metadata=dict(metadata)))
+
+    def add_collective(self, name: str, devices: Sequence[int], comm_bytes: float,
+                       deps: Iterable[int] = (), **metadata: object) -> GraphNode:
+        """Add a collective (all-reduce style) communication across devices."""
+        devices = tuple(devices)
+        if not devices:
+            raise ValueError("a collective needs at least one participating device")
+        return self._allocate(GraphNode(
+            node_id=self._new_id(), name=name, node_type=GraphNodeType.COLLECTIVE,
+            device=devices[0], comm_bytes=comm_bytes, comm_group=devices,
+            deps=set(deps), metadata=dict(metadata)))
+
+    def add_p2p(self, name: str, src: int, dst: int, comm_bytes: float,
+                deps: Iterable[int] = (), **metadata: object) -> GraphNode:
+        """Add a point-to-point transfer from ``src`` to ``dst``."""
+        return self._allocate(GraphNode(
+            node_id=self._new_id(), name=name, node_type=GraphNodeType.P2P,
+            device=src, peer_device=dst, comm_bytes=comm_bytes,
+            deps=set(deps), metadata=dict(metadata)))
+
+    def add_memory(self, name: str, device: int, comm_bytes: float, direction: str,
+                   deps: Iterable[int] = (), **metadata: object) -> GraphNode:
+        """Add a host<->device memory transfer (KV-page eviction or reload).
+
+        ``direction`` is ``"store"`` (device to host) or ``"load"`` (host to
+        device).
+        """
+        if direction not in ("store", "load"):
+            raise ValueError("direction must be 'store' or 'load'")
+        meta = dict(metadata)
+        meta["direction"] = direction
+        return self._allocate(GraphNode(
+            node_id=self._new_id(), name=name, node_type=GraphNodeType.MEMORY,
+            device=device, comm_bytes=comm_bytes, deps=set(deps), metadata=meta))
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def node(self, node_id: int) -> GraphNode:
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> List[GraphNode]:
+        return list(self._nodes.values())
+
+    def nodes_on_device(self, device: int) -> List[GraphNode]:
+        return [n for n in self._nodes.values() if n.device == device]
+
+    def devices(self) -> Set[int]:
+        """All devices referenced by the graph."""
+        devices: Set[int] = set()
+        for node in self._nodes.values():
+            devices.add(node.device)
+            devices.update(node.comm_group)
+            if node.peer_device is not None:
+                devices.add(node.peer_device)
+        return devices
+
+    def validate(self) -> None:
+        """Check referential integrity and acyclicity.
+
+        Raises
+        ------
+        ValueError
+            If a dependency points at a missing node or the graph has a cycle.
+        """
+        for node in self._nodes.values():
+            for dep in node.deps:
+                if dep not in self._nodes:
+                    raise ValueError(f"node {node.node_id} depends on missing node {dep}")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[GraphNode]:
+        """Nodes in dependency order (Kahn's algorithm).
+
+        Raises
+        ------
+        ValueError
+            If the graph contains a cycle.
+        """
+        in_degree = {nid: len(n.deps) for nid, n in self._nodes.items()}
+        dependents: Dict[int, List[int]] = {nid: [] for nid in self._nodes}
+        for node in self._nodes.values():
+            for dep in node.deps:
+                if dep in dependents:
+                    dependents[dep].append(node.node_id)
+
+        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        order: List[GraphNode] = []
+        queue = list(ready)
+        while queue:
+            nid = queue.pop(0)
+            order.append(self._nodes[nid])
+            for child in dependents[nid]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._nodes):
+            raise ValueError("execution graph contains a cycle")
+        return order
+
+    @property
+    def total_compute_time(self) -> float:
+        """Sum of all compute-node durations (serial execution upper bound)."""
+        return sum(n.duration for n in self._nodes.values()
+                   if n.node_type is GraphNodeType.COMPUTE)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        """Sum of all communication payloads."""
+        return sum(n.comm_bytes for n in self._nodes.values()
+                   if n.node_type is not GraphNodeType.COMPUTE)
+
+    def critical_path_compute_time(self) -> float:
+        """Longest chain of compute durations ignoring communication costs.
+
+        A cheap lower bound on iteration latency, used by tests and by the
+        operator scheduler's heuristics.
+        """
+        finish: Dict[int, float] = {}
+        for node in self.topological_order():
+            start = max((finish[d] for d in node.deps), default=0.0)
+            finish[node.node_id] = start + node.duration
+        return max(finish.values(), default=0.0)

@@ -1,0 +1,128 @@
+"""Parallelism strategies: tensor, pipeline and hybrid model parallelism.
+
+The paper supports three parallelization schemes (Section IV-A): tensor
+parallelism shards every weight matrix across the devices of a group,
+pipeline parallelism assigns contiguous ranges of transformer blocks to
+different groups, and hybrid parallelism combines both (tensor parallelism
+inside each group, pipeline parallelism across groups).
+
+A :class:`ParallelismPlan` resolves a strategy against a concrete topology:
+how many tensor-parallel shards exist, how many pipeline stages, and which
+blocks run on which stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..system.topology import SystemTopology
+
+__all__ = ["ParallelismStrategy", "ParallelismPlan", "make_plan"]
+
+
+class ParallelismStrategy(enum.Enum):
+    """The artifact's ``parallel`` knob."""
+
+    TENSOR = "tensor"
+    PIPELINE = "pipeline"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """A resolved parallelism configuration.
+
+    Attributes
+    ----------
+    strategy:
+        The requested strategy.
+    tensor_parallel:
+        Number of devices sharing each weight shard (devices per group).
+    pipeline_parallel:
+        Number of pipeline stages (groups).
+    num_blocks:
+        Total transformer blocks being partitioned.
+    """
+
+    strategy: ParallelismStrategy
+    tensor_parallel: int
+    pipeline_parallel: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel <= 0 or self.pipeline_parallel <= 0:
+            raise ValueError("parallel degrees must be positive")
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        # More stages than blocks is allowed: the surplus stages simply receive
+        # zero blocks (they only forward activations), matching how the paper
+        # sweeps parallelism configurations independently of the model depth.
+
+    @property
+    def total_devices(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel
+
+    def blocks_for_stage(self, stage: int) -> Tuple[int, int]:
+        """Half-open block range ``[start, end)`` assigned to a pipeline stage.
+
+        Blocks are distributed as evenly as possible, with earlier stages
+        receiving the remainder.
+        """
+        if not 0 <= stage < self.pipeline_parallel:
+            raise IndexError(f"stage {stage} out of range")
+        base = self.num_blocks // self.pipeline_parallel
+        remainder = self.num_blocks % self.pipeline_parallel
+        start = stage * base + min(stage, remainder)
+        size = base + (1 if stage < remainder else 0)
+        return start, start + size
+
+    def stage_of_block(self, block: int) -> int:
+        """Pipeline stage that owns a given block index."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range")
+        for stage in range(self.pipeline_parallel):
+            start, end = self.blocks_for_stage(stage)
+            if start <= block < end:
+                return stage
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def blocks_per_stage(self) -> List[int]:
+        """Number of blocks on each stage."""
+        return [self.blocks_for_stage(s)[1] - self.blocks_for_stage(s)[0]
+                for s in range(self.pipeline_parallel)]
+
+
+def make_plan(strategy: ParallelismStrategy, topology: SystemTopology, num_blocks: int) -> ParallelismPlan:
+    """Resolve a strategy against a topology.
+
+    * ``TENSOR``: a single group containing every compute device.
+    * ``PIPELINE``: one stage per compute device (tensor width 1).
+    * ``HYBRID``: the topology's group structure as-is (tensor parallelism
+      inside each group, pipeline across groups).
+
+    Raises
+    ------
+    ValueError
+        If the topology's grouping is incompatible with the strategy (e.g.
+        pure tensor parallelism requested on a multi-group topology).
+    """
+    num_devices = topology.num_compute_devices
+    if strategy is ParallelismStrategy.TENSOR:
+        if topology.num_groups != 1:
+            raise ValueError("tensor parallelism requires a single NPU group "
+                             f"(topology has {topology.num_groups})")
+        return ParallelismPlan(strategy, tensor_parallel=num_devices,
+                               pipeline_parallel=1, num_blocks=num_blocks)
+    if strategy is ParallelismStrategy.PIPELINE:
+        if topology.tensor_parallel_degree != 1:
+            raise ValueError("pipeline parallelism requires groups of size 1 "
+                             f"(topology groups have {topology.tensor_parallel_degree} devices)")
+        return ParallelismPlan(strategy, tensor_parallel=1,
+                               pipeline_parallel=num_devices, num_blocks=num_blocks)
+    # Hybrid: take the grouping from the topology.
+    return ParallelismPlan(strategy,
+                           tensor_parallel=topology.tensor_parallel_degree,
+                           pipeline_parallel=topology.num_groups,
+                           num_blocks=num_blocks)

@@ -1,0 +1,13 @@
+"""Model substrate: LLM architectures, operator graphs and roofline analysis."""
+
+from .architectures import ModelConfig, available_models, get_model, register_model
+from .graph import BatchComposition, IterationGraph, SequenceSpec, build_iteration_graph
+from .layers import DTYPE_BYTES, Operator, OpType, Phase
+from .roofline import DevicePeaks, RooflinePoint, RTX3090_PEAKS, analyze_operators, analyze_phase
+
+__all__ = [
+    "ModelConfig", "available_models", "get_model", "register_model",
+    "BatchComposition", "IterationGraph", "SequenceSpec", "build_iteration_graph",
+    "DTYPE_BYTES", "Operator", "OpType", "Phase",
+    "DevicePeaks", "RooflinePoint", "RTX3090_PEAKS", "analyze_operators", "analyze_phase",
+]

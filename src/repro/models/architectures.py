@@ -1,0 +1,163 @@
+"""Model architecture configurations for the LLM families used in the paper.
+
+The evaluation uses GPT-3 (7B, 13B, 30B, 175B) and LLaMA (7B, 30B), all
+decoder-based transformers.  A :class:`ModelConfig` captures the
+hyperparameters needed to derive per-operator FLOPs and byte counts as well
+as total parameter and KV-cache memory footprints, which drive the paged
+memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from .layers import DTYPE_BYTES
+
+__all__ = ["ModelConfig", "get_model", "register_model", "available_models"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of a decoder-based transformer.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name, e.g. ``"gpt3-7b"``.
+    num_layers:
+        Number of transformer (decoder) blocks.
+    hidden_size:
+        Model embedding dimension (``d_model``).
+    num_heads:
+        Number of attention heads.
+    ffn_hidden_size:
+        Inner dimension of the feed-forward network.
+    vocab_size:
+        Vocabulary size (embedding + LM head dimension).
+    max_seq_len:
+        Maximum supported sequence length.
+    dtype_bytes:
+        Bytes per parameter / activation element.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    ffn_hidden_size: int
+    vocab_size: int = 50257
+    max_seq_len: int = 2048
+    dtype_bytes: int = DTYPE_BYTES
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of a single attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def params_per_block(self) -> int:
+        """Parameter count of one transformer block.
+
+        QKV projection (3 * d^2) + output projection (d^2) + two FFN matrices
+        (2 * d * d_ff) + layer-norm scales/biases (4 * d).
+        """
+        d = self.hidden_size
+        return 4 * d * d + 2 * d * self.ffn_hidden_size + 4 * d
+
+    @property
+    def embedding_params(self) -> int:
+        """Parameters of the token embedding table (shared with the LM head)."""
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count of the model."""
+        return self.num_layers * self.params_per_block + self.embedding_params
+
+    @property
+    def param_bytes(self) -> int:
+        """Total parameter footprint in bytes."""
+        return self.total_params * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes stored per token across all transformer blocks.
+
+        One key and one value vector of ``hidden_size`` elements per block.
+        """
+        return 2 * self.hidden_size * self.num_layers * self.dtype_bytes
+
+    def kv_bytes_per_token_per_block(self) -> int:
+        """KV-cache bytes stored per token for a single transformer block."""
+        return 2 * self.hidden_size * self.dtype_bytes
+
+    def param_bytes_per_device(self, tensor_parallel: int, pipeline_parallel: int) -> int:
+        """Approximate per-device parameter footprint under model parallelism.
+
+        Tensor parallelism shards every block's matrices; pipeline parallelism
+        assigns ``num_layers / pipeline_parallel`` blocks to each stage.  The
+        embedding table lives on the first stage and is sharded by tensor
+        parallelism.
+        """
+        if tensor_parallel < 1 or pipeline_parallel < 1:
+            raise ValueError("parallel degrees must be >= 1")
+        blocks_per_stage = max(1, self.num_layers // pipeline_parallel)
+        block_bytes = blocks_per_stage * self.params_per_block * self.dtype_bytes
+        embed_bytes = self.embedding_params * self.dtype_bytes
+        return (block_bytes + embed_bytes) // tensor_parallel
+
+
+_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register_model(config: ModelConfig) -> ModelConfig:
+    """Add a model configuration to the global registry.
+
+    Raises
+    ------
+    ValueError
+        If a different configuration is already registered under the name.
+    """
+    existing = _REGISTRY.get(config.name)
+    if existing is not None and existing != config:
+        raise ValueError(f"model {config.name!r} already registered with different parameters")
+    _REGISTRY[config.name] = config
+    return config
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a registered model configuration by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return _REGISTRY[key]
+
+
+def available_models() -> Iterable[str]:
+    """Names of all registered model configurations."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in model zoo: the GPT-3 and LLaMA variants used in the evaluation.
+# Hyperparameters follow the published GPT-3 (Brown et al., 2020) and LLaMA
+# (Touvron et al., 2023) configurations.
+# ---------------------------------------------------------------------------
+
+register_model(ModelConfig("gpt2", num_layers=12, hidden_size=768, num_heads=12,
+                           ffn_hidden_size=3072, vocab_size=50257, max_seq_len=1024))
+register_model(ModelConfig("gpt3-7b", num_layers=32, hidden_size=4096, num_heads=32,
+                           ffn_hidden_size=16384, vocab_size=50257))
+register_model(ModelConfig("gpt3-13b", num_layers=40, hidden_size=5140, num_heads=40,
+                           ffn_hidden_size=20560, vocab_size=50257))
+register_model(ModelConfig("gpt3-30b", num_layers=48, hidden_size=7168, num_heads=56,
+                           ffn_hidden_size=28672, vocab_size=50257))
+register_model(ModelConfig("gpt3-175b", num_layers=96, hidden_size=12288, num_heads=96,
+                           ffn_hidden_size=49152, vocab_size=50257))
+register_model(ModelConfig("llama-7b", num_layers=32, hidden_size=4096, num_heads=32,
+                           ffn_hidden_size=11008, vocab_size=32000))
+register_model(ModelConfig("llama-13b", num_layers=40, hidden_size=5120, num_heads=40,
+                           ffn_hidden_size=13824, vocab_size=32000))
+register_model(ModelConfig("llama-30b", num_layers=60, hidden_size=6656, num_heads=52,
+                           ffn_hidden_size=17920, vocab_size=32000))

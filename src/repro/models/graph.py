@@ -1,0 +1,382 @@
+"""Per-iteration operator graph construction for decoder LLM inference.
+
+The simulator works at iteration granularity: each serving iteration runs the
+whole model once over the current batch (prompts of requests in the
+initiation phase plus one new token per request in the generation phase).
+This module lowers a batch composition into the operator list of a *single*
+transformer block, plus the embedding and LM-head operators.  Because every
+transformer block of a decoder LLM has identical structure, downstream code
+replicates the single-block description across ``num_layers`` blocks — this
+is exactly the "model redundancy reuse" optimization of Section IV-C.
+
+Selective batching (Orca) is reflected in the structure of the produced
+operators: QKV generation, feed-forward and normalization operators are
+batched over all tokens in the iteration, while attention operators (Score,
+Softmax, Attend) are emitted per request, since their shapes depend on each
+request's context length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .architectures import ModelConfig
+from .layers import Operator, OpType, Phase, gemm_flops, gemv_flops
+
+__all__ = ["SequenceSpec", "BatchComposition", "IterationGraph", "build_iteration_graph"]
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """One request's contribution to an iteration.
+
+    Attributes
+    ----------
+    request_id:
+        Identifier of the request.
+    context_length:
+        Number of tokens already present in the KV cache *before* this
+        iteration (zero for a request entering its initiation phase).
+    new_tokens:
+        Tokens processed this iteration: the full prompt length during
+        initiation, or 1 during generation.
+    phase:
+        The phase the request is in for this iteration.
+    """
+
+    request_id: int
+    context_length: int
+    new_tokens: int
+    phase: Phase
+
+    def __post_init__(self) -> None:
+        if self.new_tokens <= 0:
+            raise ValueError("new_tokens must be positive")
+        if self.context_length < 0:
+            raise ValueError("context_length must be non-negative")
+
+    @property
+    def total_context(self) -> int:
+        """Tokens visible to attention after this iteration's tokens join."""
+        return self.context_length + self.new_tokens
+
+
+@dataclass(frozen=True)
+class BatchComposition:
+    """The set of sequences processed together in one iteration."""
+
+    sequences: Sequence[SequenceSpec]
+
+    def __post_init__(self) -> None:
+        if not self.sequences:
+            raise ValueError("a batch must contain at least one sequence")
+
+    @property
+    def total_new_tokens(self) -> int:
+        """Total tokens flowing through the batched (non-attention) operators."""
+        return sum(s.new_tokens for s in self.sequences)
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def initiation_sequences(self) -> List[SequenceSpec]:
+        return [s for s in self.sequences if s.phase is Phase.INITIATION]
+
+    @property
+    def generation_sequences(self) -> List[SequenceSpec]:
+        return [s for s in self.sequences if s.phase is Phase.GENERATION]
+
+    @property
+    def dominant_phase(self) -> Phase:
+        """Phase contributing the majority of this iteration's new tokens."""
+        init_tokens = sum(s.new_tokens for s in self.initiation_sequences)
+        gen_tokens = sum(s.new_tokens for s in self.generation_sequences)
+        return Phase.INITIATION if init_tokens >= gen_tokens else Phase.GENERATION
+
+
+@dataclass
+class IterationGraph:
+    """Operator description of one serving iteration.
+
+    ``block_operators`` describes a single representative transformer block;
+    the full model repeats it ``num_blocks`` times.  ``embedding_operators``
+    and ``head_operators`` run once, before and after the blocks.
+    """
+
+    model: ModelConfig
+    batch: BatchComposition
+    embedding_operators: List[Operator] = field(default_factory=list)
+    block_operators: List[Operator] = field(default_factory=list)
+    head_operators: List[Operator] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.model.num_layers
+
+    @property
+    def attention_operators(self) -> List[Operator]:
+        """Attention operators of the representative block."""
+        return [op for op in self.block_operators if op.is_attention]
+
+    @property
+    def non_attention_operators(self) -> List[Operator]:
+        """Non-attention operators of the representative block."""
+        return [op for op in self.block_operators if not op.is_attention]
+
+    def operators_for_block(self, block_index: int) -> List[Operator]:
+        """Materialize the operator list of a specific block by replication."""
+        from dataclasses import replace
+
+        prefix = f"block{block_index}."
+        result = []
+        for op in self.block_operators:
+            base_name = op.name.split(".", 1)[1] if "." in op.name else op.name
+            result.append(replace(op, name=prefix + base_name, block_index=block_index))
+        return result
+
+    def all_operators(self) -> List[Operator]:
+        """Flatten the full model: embedding, every block, LM head."""
+        ops: List[Operator] = list(self.embedding_operators)
+        for block in range(self.num_blocks):
+            ops.extend(self.operators_for_block(block))
+        ops.extend(self.head_operators)
+        return ops
+
+    @property
+    def total_flops(self) -> float:
+        """Total FLOPs of the full iteration across every block."""
+        block_flops = sum(op.flops for op in self.block_operators)
+        other = sum(op.flops for op in self.embedding_operators + self.head_operators)
+        return block_flops * self.num_blocks + other
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved by the full iteration across every block."""
+        block_bytes = sum(op.total_bytes for op in self.block_operators)
+        other = sum(op.total_bytes for op in self.embedding_operators + self.head_operators)
+        return block_bytes * self.num_blocks + other
+
+
+def _attention_operators(model: ModelConfig, seq: SequenceSpec) -> List[Operator]:
+    """Score / Softmax / Attend operators for one request in one block."""
+    d = model.hidden_size
+    dtype = model.dtype_bytes
+    ctx = seq.total_context
+    new = seq.new_tokens
+    ops: List[Operator] = []
+
+    if seq.phase is Phase.INITIATION:
+        # Prompt processing: Q (new x d) against K (ctx x d) -> GEMM.
+        score_flops = gemm_flops(new, model.head_dim, ctx) * model.num_heads
+        score_type = OpType.GEMM
+    else:
+        # Decode: a single query vector against the whole KV cache -> GEMV.
+        score_flops = gemv_flops(d, ctx)
+        score_type = OpType.GEMV
+
+    q_bytes = new * d * dtype
+    k_bytes = ctx * d * dtype
+    v_bytes = ctx * d * dtype
+    score_bytes = new * ctx * model.num_heads * dtype
+
+    ops.append(Operator(
+        name=f"block.score.r{seq.request_id}",
+        op_type=score_type,
+        flops=score_flops,
+        input_bytes=q_bytes + k_bytes,
+        weight_bytes=0.0,
+        output_bytes=score_bytes,
+        phase=seq.phase,
+        block_index=0,
+        is_attention=True,
+        request_id=seq.request_id,
+        m=new, k=d, n=ctx,
+    ))
+
+    softmax_elems = new * ctx * model.num_heads
+    ops.append(Operator(
+        name=f"block.softmax.r{seq.request_id}",
+        op_type=OpType.SOFTMAX,
+        flops=5.0 * softmax_elems,
+        input_bytes=softmax_elems * dtype,
+        weight_bytes=0.0,
+        output_bytes=softmax_elems * dtype,
+        phase=seq.phase,
+        block_index=0,
+        is_attention=True,
+        request_id=seq.request_id,
+        m=new, k=ctx, n=model.num_heads,
+    ))
+
+    if seq.phase is Phase.INITIATION:
+        attend_flops = gemm_flops(new, ctx, model.head_dim) * model.num_heads
+        attend_type = OpType.GEMM
+    else:
+        attend_flops = gemv_flops(ctx, d)
+        attend_type = OpType.GEMV
+
+    ops.append(Operator(
+        name=f"block.attend.r{seq.request_id}",
+        op_type=attend_type,
+        flops=attend_flops,
+        input_bytes=score_bytes + v_bytes,
+        weight_bytes=0.0,
+        output_bytes=new * d * dtype,
+        phase=seq.phase,
+        block_index=0,
+        is_attention=True,
+        request_id=seq.request_id,
+        m=new, k=ctx, n=d,
+    ))
+    return ops
+
+
+def build_iteration_graph(model: ModelConfig, batch: BatchComposition) -> IterationGraph:
+    """Lower a batch composition into the iteration's operator graph.
+
+    Parameters
+    ----------
+    model:
+        The model architecture being served.
+    batch:
+        The composition of the iteration's batch, as decided by the
+        iteration-level scheduler.
+
+    Returns
+    -------
+    IterationGraph
+        Operator description with a single representative transformer block.
+    """
+    d = model.hidden_size
+    d_ff = model.ffn_hidden_size
+    dtype = model.dtype_bytes
+    tokens = batch.total_new_tokens
+    phase = batch.dominant_phase
+
+    graph = IterationGraph(model=model, batch=batch)
+
+    # Embedding lookup: one row of the embedding table per new token.
+    graph.embedding_operators.append(Operator(
+        name="embedding",
+        op_type=OpType.EMBEDDING,
+        flops=float(tokens * d),
+        input_bytes=float(tokens * d * dtype),
+        weight_bytes=float(tokens * d * dtype),
+        output_bytes=float(tokens * d * dtype),
+        phase=phase,
+        m=tokens, k=1, n=d,
+    ))
+
+    block_ops: List[Operator] = []
+
+    # Pre-attention layer normalization (batched over all tokens).
+    ln_elems = tokens * d
+    block_ops.append(Operator(
+        name="block.layernorm1",
+        op_type=OpType.LAYERNORM,
+        flops=8.0 * ln_elems,
+        input_bytes=float(ln_elems * dtype),
+        weight_bytes=float(2 * d * dtype),
+        output_bytes=float(ln_elems * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=1, n=d,
+    ))
+
+    # QKV generation: batched GEMM over all tokens.
+    block_ops.append(Operator(
+        name="block.qkv_gen",
+        op_type=OpType.GEMM if tokens > 1 else OpType.GEMV,
+        flops=gemm_flops(tokens, d, 3 * d),
+        input_bytes=float(tokens * d * dtype),
+        weight_bytes=float(3 * d * d * dtype),
+        output_bytes=float(tokens * 3 * d * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=d, n=3 * d,
+    ))
+
+    # Per-request multi-head attention (selective batching).
+    for seq in batch.sequences:
+        block_ops.extend(_attention_operators(model, seq))
+
+    # Attention output projection: batched GEMM.
+    block_ops.append(Operator(
+        name="block.attn_out_proj",
+        op_type=OpType.GEMM if tokens > 1 else OpType.GEMV,
+        flops=gemm_flops(tokens, d, d),
+        input_bytes=float(tokens * d * dtype),
+        weight_bytes=float(d * d * dtype),
+        output_bytes=float(tokens * d * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=d, n=d,
+    ))
+
+    # Post-attention layer normalization.
+    block_ops.append(Operator(
+        name="block.layernorm2",
+        op_type=OpType.LAYERNORM,
+        flops=8.0 * ln_elems,
+        input_bytes=float(ln_elems * dtype),
+        weight_bytes=float(2 * d * dtype),
+        output_bytes=float(ln_elems * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=1, n=d,
+    ))
+
+    # Feed-forward network: up projection, activation, down projection.
+    block_ops.append(Operator(
+        name="block.ffn_up",
+        op_type=OpType.GEMM if tokens > 1 else OpType.GEMV,
+        flops=gemm_flops(tokens, d, d_ff),
+        input_bytes=float(tokens * d * dtype),
+        weight_bytes=float(d * d_ff * dtype),
+        output_bytes=float(tokens * d_ff * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=d, n=d_ff,
+    ))
+    block_ops.append(Operator(
+        name="block.ffn_activation",
+        op_type=OpType.VECTOR,
+        flops=8.0 * tokens * d_ff,
+        input_bytes=float(tokens * d_ff * dtype),
+        weight_bytes=0.0,
+        output_bytes=float(tokens * d_ff * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=1, n=d_ff,
+    ))
+    block_ops.append(Operator(
+        name="block.ffn_down",
+        op_type=OpType.GEMM if tokens > 1 else OpType.GEMV,
+        flops=gemm_flops(tokens, d_ff, d),
+        input_bytes=float(tokens * d_ff * dtype),
+        weight_bytes=float(d_ff * d * dtype),
+        output_bytes=float(tokens * d * dtype),
+        phase=phase,
+        block_index=0,
+        m=tokens, k=d_ff, n=d,
+    ))
+
+    graph.block_operators = block_ops
+
+    # LM head: logits for the last token of each sequence.
+    seqs = batch.num_sequences
+    graph.head_operators.append(Operator(
+        name="lm_head",
+        op_type=OpType.GEMM if seqs > 1 else OpType.GEMV,
+        flops=gemm_flops(seqs, d, model.vocab_size),
+        input_bytes=float(seqs * d * dtype),
+        weight_bytes=float(d * model.vocab_size * dtype),
+        output_bytes=float(seqs * model.vocab_size * dtype),
+        phase=phase,
+        m=seqs, k=d, n=model.vocab_size,
+    ))
+
+    return graph

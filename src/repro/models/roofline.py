@@ -1,0 +1,130 @@
+"""Roofline analysis of LLM inference operators (Figure 2(b) of the paper).
+
+The roofline model bounds an operator's attainable performance by
+``min(peak_flops, arithmetic_intensity * peak_bandwidth)``.  The paper uses
+it to motivate heterogeneity: QKV generation and the FFN are compute bound
+while attention Score/Attend and layer normalization are memory bound,
+especially in the generation phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .architectures import ModelConfig
+from .graph import BatchComposition, SequenceSpec, build_iteration_graph
+from .layers import Operator, Phase
+
+__all__ = ["DevicePeaks", "RooflinePoint", "analyze_operators", "analyze_phase", "RTX3090_PEAKS"]
+
+
+@dataclass(frozen=True)
+class DevicePeaks:
+    """Peak compute throughput and memory bandwidth of a device.
+
+    Attributes
+    ----------
+    name:
+        Device name used in reports.
+    peak_tflops:
+        Peak dense throughput in TFLOPS for the serving datatype.
+    peak_bandwidth_gbs:
+        Peak DRAM bandwidth in GB/s.
+    """
+
+    name: str
+    peak_tflops: float
+    peak_bandwidth_gbs: float
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/byte) where compute and memory bounds meet."""
+        return (self.peak_tflops * 1e12) / (self.peak_bandwidth_gbs * 1e9)
+
+    def attainable_tflops(self, arithmetic_intensity: float) -> float:
+        """Roofline-attainable performance at a given arithmetic intensity."""
+        memory_bound = arithmetic_intensity * self.peak_bandwidth_gbs * 1e9 / 1e12
+        return min(self.peak_tflops, memory_bound)
+
+
+#: NVIDIA RTX 3090 peaks (FP16 tensor-core throughput, GDDR6X bandwidth), the
+#: device used for the paper's roofline analysis.
+RTX3090_PEAKS = DevicePeaks(name="rtx-3090", peak_tflops=142.0, peak_bandwidth_gbs=936.0)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator's position on the roofline plot."""
+
+    operator: str
+    phase: str
+    arithmetic_intensity: float
+    attainable_tflops: float
+    compute_bound: bool
+
+
+def analyze_operators(operators: Iterable[Operator], device: DevicePeaks = RTX3090_PEAKS) -> List[RooflinePoint]:
+    """Place each operator on the device's roofline.
+
+    Operators with arithmetic intensity above the device ridge point are
+    classified as compute bound, the rest as memory bound.
+    """
+    points: List[RooflinePoint] = []
+    for op in operators:
+        ai = op.arithmetic_intensity
+        points.append(RooflinePoint(
+            operator=op.name,
+            phase=op.phase.value,
+            arithmetic_intensity=ai,
+            attainable_tflops=device.attainable_tflops(ai),
+            compute_bound=ai >= device.ridge_point,
+        ))
+    return points
+
+
+def analyze_phase(model: ModelConfig, batch_size: int, seq_len: int,
+                  phase: Phase, device: DevicePeaks = RTX3090_PEAKS) -> Dict[str, RooflinePoint]:
+    """Roofline of one block's operator classes for a whole phase.
+
+    Builds a synthetic batch of ``batch_size`` requests of length ``seq_len``
+    that are all in the given phase and aggregates operators by class
+    (layernorm, qkv_gen, score, attend, ffn) as in Figure 2(b).
+    """
+    if phase is Phase.INITIATION:
+        seqs = [SequenceSpec(i, 0, seq_len, Phase.INITIATION) for i in range(batch_size)]
+    else:
+        seqs = [SequenceSpec(i, seq_len, 1, Phase.GENERATION) for i in range(batch_size)]
+    graph = build_iteration_graph(model, BatchComposition(seqs))
+
+    groups: Dict[str, List[Operator]] = {
+        "layernorm": [], "qkv_gen": [], "score": [], "attend": [], "ffn": [],
+    }
+    for op in graph.block_operators:
+        base = op.name.split(".", 1)[1] if "." in op.name else op.name
+        if base.startswith("layernorm"):
+            groups["layernorm"].append(op)
+        elif base.startswith("qkv_gen"):
+            groups["qkv_gen"].append(op)
+        elif base.startswith("score") or base.startswith("softmax"):
+            groups["score"].append(op)
+        elif base.startswith("attend"):
+            groups["attend"].append(op)
+        elif base.startswith("ffn"):
+            groups["ffn"].append(op)
+
+    result: Dict[str, RooflinePoint] = {}
+    for group, ops in groups.items():
+        if not ops:
+            continue
+        flops = sum(op.flops for op in ops)
+        bytes_moved = sum(op.total_bytes for op in ops)
+        ai = flops / bytes_moved if bytes_moved else 0.0
+        result[group] = RooflinePoint(
+            operator=group,
+            phase=phase.value,
+            arithmetic_intensity=ai,
+            attainable_tflops=device.attainable_tflops(ai),
+            compute_bound=ai >= device.ridge_point,
+        )
+    return result

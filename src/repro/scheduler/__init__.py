@@ -1,0 +1,19 @@
+"""Scheduling substrate: iteration-level scheduling, KV paging, memory budgeting."""
+
+from .batch import IterationPlan, format_batch
+from .kv_cache import (KVCacheManager, KVMemoryEvent, KVMemoryEventType,
+                       MaxAllocKVCacheManager, PagedKVCacheManager, build_kv_manager)
+from .memory import MemoryBudget, compute_kv_budget
+from .scheduler import (BaseScheduler, IterationLevelScheduler, SchedulerStats,
+                        StaticBatchScheduler, build_scheduler)
+from .subbatch import PartitionCriteria, SubBatchPartitioner
+
+__all__ = [
+    "IterationPlan", "format_batch",
+    "KVCacheManager", "KVMemoryEvent", "KVMemoryEventType",
+    "MaxAllocKVCacheManager", "PagedKVCacheManager", "build_kv_manager",
+    "MemoryBudget", "compute_kv_budget",
+    "BaseScheduler", "IterationLevelScheduler", "SchedulerStats",
+    "StaticBatchScheduler", "build_scheduler",
+    "PartitionCriteria", "SubBatchPartitioner",
+]

@@ -1,0 +1,103 @@
+"""Batch formatting: turning pending/running requests into an iteration plan.
+
+Each scheduling round produces an :class:`IterationPlan`: the set of
+sequences to run this iteration (newly admitted prompts in the initiation
+phase plus one token for every running request in the generation phase), the
+KV-cache migrations the memory manager decided on, and bookkeeping used by
+the scheduler once the iteration's latency is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..models.graph import BatchComposition, SequenceSpec
+from ..models.layers import Phase
+from ..workload.request import Request
+from .kv_cache import KVMemoryEvent
+
+__all__ = ["IterationPlan", "format_batch"]
+
+
+@dataclass
+class IterationPlan:
+    """Everything the simulator needs to execute one serving iteration.
+
+    Attributes
+    ----------
+    iteration_index:
+        Monotonic iteration counter.
+    scheduled_at:
+        Scheduler clock when the plan was formed.
+    batch:
+        The iteration's batch composition (input to the model-graph builder).
+    initiation_requests / generation_requests:
+        The requests contributing prompt work / decode work this iteration.
+    memory_events:
+        KV-cache migrations (evictions and reloads) decided while forming the
+        batch; the graph converter turns them into memory operators.
+    """
+
+    iteration_index: int
+    scheduled_at: float
+    batch: BatchComposition
+    initiation_requests: List[Request] = field(default_factory=list)
+    generation_requests: List[Request] = field(default_factory=list)
+    memory_events: List[KVMemoryEvent] = field(default_factory=list)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.initiation_requests) + len(self.generation_requests)
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Prompt tokens processed this iteration (initiation-phase work)."""
+        return sum(r.input_tokens for r in self.initiation_requests)
+
+    @property
+    def generation_tokens(self) -> int:
+        """Tokens generated this iteration (one per request past initiation).
+
+        Requests finishing their initiation phase also emit their first
+        generated token at the end of the iteration, so they are counted here
+        as well, matching how serving systems report generation throughput.
+        """
+        return len(self.generation_requests) + len(self.initiation_requests)
+
+
+def format_batch(iteration_index: int, now: float,
+                 initiation_requests: List[Request],
+                 generation_requests: List[Request],
+                 memory_events: List[KVMemoryEvent]) -> IterationPlan:
+    """Assemble an :class:`IterationPlan` from the scheduler's selections.
+
+    The batch composition lists generation-phase sequences first (they only
+    contribute one token each) followed by initiation-phase sequences, which
+    mirrors how Orca-style systems order selective batching.
+    """
+    sequences: List[SequenceSpec] = []
+    for request in generation_requests:
+        sequences.append(SequenceSpec(
+            request_id=request.request_id,
+            context_length=request.context_length,
+            new_tokens=1,
+            phase=Phase.GENERATION,
+        ))
+    for request in initiation_requests:
+        sequences.append(SequenceSpec(
+            request_id=request.request_id,
+            context_length=0,
+            new_tokens=request.input_tokens,
+            phase=Phase.INITIATION,
+        ))
+    if not sequences:
+        raise ValueError("cannot format an empty batch")
+    return IterationPlan(
+        iteration_index=iteration_index,
+        scheduled_at=now,
+        batch=BatchComposition(sequences),
+        initiation_requests=list(initiation_requests),
+        generation_requests=list(generation_requests),
+        memory_events=list(memory_events),
+    )

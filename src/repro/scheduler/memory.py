@@ -1,0 +1,97 @@
+"""Accelerator memory model: capacity budgeting for weights, KV cache and activations.
+
+ASTRA-sim's memory model lacks capacity constraints; LLMServingSim adds them
+because LLM serving is extremely sensitive to memory capacity (model weights
+plus a KV cache that grows with every generated token).  This module
+computes the memory budget available to the KV cache on a serving system:
+aggregate device memory minus the sharded model weights minus an activation
+reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.architectures import ModelConfig
+
+__all__ = ["MemoryBudget", "compute_kv_budget"]
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Memory capacity available for the KV cache across the serving system.
+
+    Attributes
+    ----------
+    total_device_bytes:
+        Aggregate local memory across all compute devices.
+    weight_bytes:
+        Bytes occupied by model parameters (full copy per data-parallel
+        replica; sharded across tensor/pipeline-parallel devices).
+    activation_reserve_bytes:
+        Bytes reserved for activations and workspace.
+    kv_capacity_bytes:
+        Bytes left for KV-cache pages.
+    """
+
+    total_device_bytes: int
+    weight_bytes: int
+    activation_reserve_bytes: int
+    kv_capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.kv_capacity_bytes < 0:
+            raise ValueError(
+                "model weights and activation reserve exceed the system's device memory; "
+                "add devices or reduce the activation reserve")
+
+    @property
+    def kv_fraction(self) -> float:
+        """Fraction of device memory available to the KV cache."""
+        if self.total_device_bytes == 0:
+            return 0.0
+        return self.kv_capacity_bytes / self.total_device_bytes
+
+
+def compute_kv_budget(model: ModelConfig, num_devices: int, device_memory_bytes: int,
+                      activation_fraction: float = 0.05) -> MemoryBudget:
+    """Compute the KV-cache budget of a serving system.
+
+    Parameters
+    ----------
+    model:
+        The model being served; its parameters occupy ``model.param_bytes``
+        once across the (tensor/pipeline) parallel group.
+    num_devices:
+        Number of compute devices holding weights and KV cache.
+    device_memory_bytes:
+        Local memory per device.
+    activation_fraction:
+        Fraction of total memory reserved for activations / workspace.
+
+    Raises
+    ------
+    ValueError
+        If the model does not fit in the aggregate device memory.
+    """
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    if device_memory_bytes <= 0:
+        raise ValueError("device_memory_bytes must be positive")
+    if not 0 <= activation_fraction < 1:
+        raise ValueError("activation_fraction must be in [0, 1)")
+
+    total = num_devices * device_memory_bytes
+    weights = model.param_bytes
+    reserve = int(total * activation_fraction)
+    kv = total - weights - reserve
+    if kv < 0:
+        raise ValueError(
+            f"model {model.name} needs {weights / 1e9:.1f} GB of weights but the system only has "
+            f"{total / 1e9:.1f} GB of device memory")
+    return MemoryBudget(
+        total_device_bytes=total,
+        weight_bytes=weights,
+        activation_reserve_bytes=reserve,
+        kv_capacity_bytes=kv,
+    )

@@ -1,0 +1,105 @@
+"""Discrete-event simulation primitives.
+
+A tiny, dependency-free event queue used by the system simulator.  Events
+are ordered by time with a monotonically increasing sequence number as the
+tie breaker so simulation results are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events compare by ``(time, sequence)`` so two events scheduled for the
+    same instant fire in scheduling order.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A deterministic priority queue of timed events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run at simulated ``time``.
+
+        Raises
+        ------
+        ValueError
+            If the event is scheduled in the past.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule event at {time} before current time {self._now}")
+        event = Event(time=max(time, self._now), sequence=next(self._counter),
+                      action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, action, label)
+
+    def pop(self) -> Event:
+        """Remove and return the next event, advancing simulated time."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue, executing event actions in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is later than this time (the event stays
+            queued).
+        max_events:
+            Safety limit on the number of events processed.
+
+        Returns
+        -------
+        int
+            The number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            event = self.pop()
+            event.action()
+            executed += 1
+        return executed

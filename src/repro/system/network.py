@@ -1,0 +1,133 @@
+"""Network and interconnect model: links, collectives and host transfers.
+
+The paper's Table I specifies PCIe-4.0-class inter-device links (64 GB/s,
+100 ns) and the analytical ASTRA-sim backend models collectives with
+bandwidth/latency terms.  This module reproduces those models: point-to-point
+transfer time, ring all-reduce / all-gather cost across a device group, and
+host<->device page-migration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkSpec", "NetworkConfig", "NetworkModel",
+           "PCIE_GEN4_X16", "HIGH_BANDWIDTH_INTERCONNECT", "NVLINK_LIKE"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link characterized by bandwidth and latency.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    bandwidth_gbs:
+        Sustained bandwidth in GB/s.
+    latency_s:
+        Per-message latency in seconds.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth_gbs must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over this link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.latency_s + num_bytes / (self.bandwidth_gbs * 1e9)
+
+
+#: Table I inter-device link: PCIe 4.0 x16 at 64 GB/s, 100 ns latency.
+PCIE_GEN4_X16 = LinkSpec(name="pcie-4.0-x16", bandwidth_gbs=64.0, latency_s=100e-9)
+
+#: CXL-class high-bandwidth interconnect used between accelerator pools.
+HIGH_BANDWIDTH_INTERCONNECT = LinkSpec(name="cxl-like", bandwidth_gbs=256.0, latency_s=300e-9)
+
+#: An NVLink-like intra-group link for GPU reference configurations.
+NVLINK_LIKE = LinkSpec(name="nvlink-like", bandwidth_gbs=300.0, latency_s=700e-9)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Links used in a serving system.
+
+    Attributes
+    ----------
+    device_link:
+        Link between accelerators (intra- and inter-group).
+    host_link:
+        Link between accelerators and the host (used for KV-page eviction and
+        reload).
+    pool_link:
+        Link between heterogeneous accelerator pools (NPU pool <-> PIM pool).
+    sync_overhead_s:
+        Fixed per-collective software synchronization overhead, modeling the
+        kernel-launch / barrier cost the paper attributes to system-level
+        synchronization.
+    """
+
+    device_link: LinkSpec = PCIE_GEN4_X16
+    host_link: LinkSpec = PCIE_GEN4_X16
+    pool_link: LinkSpec = HIGH_BANDWIDTH_INTERCONNECT
+    sync_overhead_s: float = 10e-6
+
+
+class NetworkModel:
+    """Analytical timing model for communication operations."""
+
+    def __init__(self, config: NetworkConfig = NetworkConfig()) -> None:
+        self.config = config
+
+    # -- point-to-point ------------------------------------------------------
+
+    def p2p_time(self, num_bytes: float) -> float:
+        """Activation transfer between two accelerators (pipeline stage hop)."""
+        return self.config.device_link.transfer_time(num_bytes)
+
+    def pool_transfer_time(self, num_bytes: float) -> float:
+        """Intermediate-result transfer between accelerator pools."""
+        return self.config.pool_link.transfer_time(num_bytes)
+
+    def host_transfer_time(self, num_bytes: float) -> float:
+        """KV-page migration between device memory and host memory."""
+        return self.config.host_link.transfer_time(num_bytes)
+
+    # -- collectives ---------------------------------------------------------
+
+    def allreduce_time(self, num_bytes: float, num_devices: int) -> float:
+        """Ring all-reduce across ``num_devices`` devices.
+
+        Uses the standard ring model: ``2 * (n-1)/n * bytes / bw`` plus
+        ``2 * (n-1)`` link-latency hops and a fixed synchronization overhead.
+        A single participant costs nothing.
+        """
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_devices == 1:
+            return 0.0
+        link = self.config.device_link
+        bandwidth_term = 2.0 * (num_devices - 1) / num_devices * num_bytes / (link.bandwidth_gbs * 1e9)
+        latency_term = 2.0 * (num_devices - 1) * link.latency_s
+        return bandwidth_term + latency_term + self.config.sync_overhead_s
+
+    def allgather_time(self, num_bytes: float, num_devices: int) -> float:
+        """Ring all-gather across ``num_devices`` devices."""
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        if num_devices == 1:
+            return 0.0
+        link = self.config.device_link
+        bandwidth_term = (num_devices - 1) / num_devices * num_bytes / (link.bandwidth_gbs * 1e9)
+        latency_term = (num_devices - 1) * link.latency_s
+        return bandwidth_term + latency_term + self.config.sync_overhead_s

@@ -1,0 +1,154 @@
+"""Request trace generation: arrival processes over dataset length samples.
+
+The paper synthesizes request arrival patterns with a Poisson process over
+lengths sampled from ShareGPT (validation, Figure 6) and uses 256 Alpaca
+requests for the heterogeneous comparison (Figure 7).  This module provides
+both: a Poisson arrival generator and a burst/deterministic generator, each
+producing a list of :class:`~repro.workload.request.Request` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .datasets import DatasetProfile, LengthSampler, get_profile
+from .request import Request
+
+__all__ = ["RequestTrace", "PoissonArrivalGenerator", "BurstArrivalGenerator", "generate_trace"]
+
+
+@dataclass
+class RequestTrace:
+    """An ordered list of requests plus the metadata used to create it."""
+
+    requests: List[Request]
+    dataset: str
+    arrival_process: str
+    rate_per_second: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def total_input_tokens(self) -> int:
+        return sum(r.input_tokens for r in self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Span between the first and last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+
+class PoissonArrivalGenerator:
+    """Generates requests with exponentially distributed inter-arrival times.
+
+    Parameters
+    ----------
+    dataset:
+        Name of the dataset profile to sample lengths from.
+    rate_per_second:
+        Mean arrival rate (lambda) of the Poisson process.
+    seed:
+        Random seed shared by the arrival and length samplers.
+    """
+
+    def __init__(self, dataset: str = "sharegpt", rate_per_second: float = 1.0, seed: int = 0) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        self.profile: DatasetProfile = get_profile(dataset)
+        self.rate_per_second = rate_per_second
+        self._rng = np.random.default_rng(seed)
+        self._lengths = LengthSampler(self.profile, seed=seed + 1)
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Produce a trace of ``num_requests`` requests."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        inter_arrivals = self._rng.exponential(1.0 / self.rate_per_second, size=num_requests)
+        arrival_times = np.cumsum(inter_arrivals)
+        requests = []
+        for i, arrival in enumerate(arrival_times):
+            input_tokens, output_tokens = self._lengths.sample()
+            requests.append(Request(
+                request_id=i,
+                input_tokens=input_tokens,
+                output_tokens=output_tokens,
+                arrival_time=float(arrival),
+            ))
+        return RequestTrace(
+            requests=requests,
+            dataset=self.profile.name,
+            arrival_process="poisson",
+            rate_per_second=self.rate_per_second,
+        )
+
+
+class BurstArrivalGenerator:
+    """Generates requests that all arrive at (nearly) the same instant.
+
+    Used for the one-shot experiments (e.g. the 256 Alpaca requests of the
+    NeuPIMs comparison) where the serving system starts with a full queue.
+    """
+
+    def __init__(self, dataset: str = "alpaca", seed: int = 0, arrival_time: float = 0.0) -> None:
+        self.profile: DatasetProfile = get_profile(dataset)
+        self.arrival_time = arrival_time
+        self._lengths = LengthSampler(self.profile, seed=seed + 1)
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Produce a trace of ``num_requests`` simultaneous requests."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        requests = []
+        for i in range(num_requests):
+            input_tokens, output_tokens = self._lengths.sample()
+            requests.append(Request(
+                request_id=i,
+                input_tokens=input_tokens,
+                output_tokens=output_tokens,
+                arrival_time=self.arrival_time,
+            ))
+        return RequestTrace(
+            requests=requests,
+            dataset=self.profile.name,
+            arrival_process="burst",
+        )
+
+
+def generate_trace(dataset: str, num_requests: int, arrival: str = "poisson",
+                   rate_per_second: float = 1.0, seed: int = 0) -> RequestTrace:
+    """Convenience front-end used by the CLI and the benchmarks.
+
+    Parameters
+    ----------
+    dataset:
+        ``"sharegpt"`` or ``"alpaca"``.
+    num_requests:
+        Number of requests to generate.
+    arrival:
+        ``"poisson"`` or ``"burst"``.
+    rate_per_second:
+        Poisson arrival rate (ignored for burst arrivals).
+    seed:
+        Random seed.
+    """
+    if arrival == "poisson":
+        return PoissonArrivalGenerator(dataset, rate_per_second, seed).generate(num_requests)
+    if arrival == "burst":
+        return BurstArrivalGenerator(dataset, seed).generate(num_requests)
+    raise ValueError(f"unknown arrival process {arrival!r}; expected 'poisson' or 'burst'")

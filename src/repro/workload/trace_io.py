@@ -1,0 +1,79 @@
+"""TSV trace reading and writing, compatible with the artifact format.
+
+The LLMServingSim artifact represents request datasets as TSV files with
+three columns: input token length, output token length and arrival time.
+This module round-trips :class:`~repro.workload.generator.RequestTrace`
+objects through that format so traces can be stored, shared and replayed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from .generator import RequestTrace
+from .request import Request
+
+__all__ = ["write_trace", "read_trace", "TRACE_COLUMNS"]
+
+#: Column order used in the TSV files.
+TRACE_COLUMNS = ("input_toks", "output_toks", "arrival_time_sec")
+
+
+def write_trace(trace: RequestTrace, path: Union[str, Path]) -> Path:
+    """Write a request trace to a TSV file.
+
+    The file starts with a header row naming the three columns, matching the
+    artifact's ``dataset`` input format.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        writer.writerow(TRACE_COLUMNS)
+        for request in trace.requests:
+            writer.writerow([request.input_tokens, request.output_tokens,
+                             f"{request.arrival_time:.6f}"])
+    return path
+
+
+def read_trace(path: Union[str, Path], dataset: str = "file") -> RequestTrace:
+    """Read a request trace from a TSV file written by :func:`write_trace`.
+
+    Files without a header row (plain three-column TSV, as in the original
+    artifact) are also accepted.
+    """
+    path = Path(path)
+    requests: List[Request] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter="\t")
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"trace file {path} is empty")
+
+    start = 0
+    first = rows[0]
+    if first and not _is_number(first[0]):
+        start = 1  # skip header
+
+    for i, row in enumerate(rows[start:]):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) < 3:
+            raise ValueError(f"trace row {i + start} has fewer than 3 columns: {row!r}")
+        requests.append(Request(
+            request_id=len(requests),
+            input_tokens=int(float(row[0])),
+            output_tokens=int(float(row[1])),
+            arrival_time=float(row[2]),
+        ))
+    return RequestTrace(requests=requests, dataset=dataset, arrival_process="file")
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,246 @@
+"""Integration tests for the end-to-end simulator, results, baselines, analysis and CLI."""
+
+import pytest
+
+from repro import (LLMServingSim, ParallelismStrategy, Request, ServingSimConfig,
+                   SimTimeCalibration, generate_trace)
+from repro.analysis import (format_table, geometric_mean_error, mean_absolute_percentage_error,
+                            relative_error, series_error)
+from repro.baselines import (NeuPIMsConfig, NeuPIMsReference, VLLMReferenceConfig,
+                             VLLMReferenceSystem, baseline_simulators)
+from repro.cli import main as cli_main
+from repro.core.simtime import ComponentTimes, SimTimeTracker
+from repro.models import BatchComposition, Phase, SequenceSpec, get_model
+from repro.workload import BurstArrivalGenerator
+
+
+def small_config(**overrides):
+    defaults = dict(model_name="gpt2", npu_num=2, npu_group=1, npu_mem_gb=4.0)
+    defaults.update(overrides)
+    return ServingSimConfig(**defaults)
+
+
+def small_trace(count=6, seed=0):
+    return generate_trace("alpaca", count, arrival="poisson", rate_per_second=5.0, seed=seed)
+
+
+class TestServingSimConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingSimConfig(npu_num=0)
+        with pytest.raises(ValueError):
+            ServingSimConfig(npu_num=4, npu_group=3)
+        with pytest.raises(ValueError):
+            ServingSimConfig(pim_type="hbm")
+        with pytest.raises(ValueError):
+            ServingSimConfig(sub_batch=True, pim_type="none")
+
+    def test_string_coercion(self):
+        config = ServingSimConfig(parallel="tensor", graph_granularity="block", npu_num=4)
+        assert config.parallel is ParallelismStrategy.TENSOR
+        assert config.graph_granularity.value == "block"
+
+    def test_effective_groups(self):
+        assert ServingSimConfig(npu_num=8, parallel="tensor").effective_groups == 1
+        assert ServingSimConfig(npu_num=8, parallel="pipeline").effective_groups == 8
+        assert ServingSimConfig(npu_num=8, npu_group=2, parallel="hybrid").effective_groups == 2
+
+
+class TestLLMServingSimEndToEnd:
+    def test_all_requests_finish(self):
+        result = LLMServingSim(small_config()).run(small_trace())
+        assert len(result.finished_requests) == 6
+        assert all(r.is_finished for r in result.requests)
+        assert result.makespan > 0
+        assert result.generation_throughput > 0
+        assert result.prompt_throughput > 0
+
+    def test_iteration_records_consistent(self):
+        result = LLMServingSim(small_config()).run(small_trace())
+        for record in result.iterations:
+            assert record.latency > 0
+            assert record.end_time >= record.start_time
+            assert record.num_requests >= 1
+        # Simulated time advances monotonically.
+        ends = [r.end_time for r in result.iterations]
+        assert ends == sorted(ends)
+
+    def test_generated_tokens_match_workload(self):
+        trace = small_trace()
+        expected = sum(r.output_tokens for r in trace)
+        result = LLMServingSim(small_config()).run(trace)
+        assert result.total_generated_tokens == expected
+
+    def test_max_iterations_cap(self):
+        result = LLMServingSim(small_config()).run(small_trace(), max_iterations=3)
+        assert len(result.iterations) == 3
+
+    def test_deterministic_across_runs(self):
+        a = LLMServingSim(small_config()).run(small_trace(seed=5))
+        b = LLMServingSim(small_config()).run(small_trace(seed=5))
+        assert a.makespan == pytest.approx(b.makespan)
+        assert len(a.iterations) == len(b.iterations)
+
+    def test_reuse_does_not_change_serving_results(self):
+        """Computation reuse is a simulation-speed optimization only."""
+        with_reuse = LLMServingSim(small_config()).run(small_trace(seed=2))
+        without = LLMServingSim(small_config(enable_block_reuse=False,
+                                             enable_computation_reuse=False)).run(small_trace(seed=2))
+        assert with_reuse.makespan == pytest.approx(without.makespan, rel=1e-9)
+
+    def test_reuse_reduces_modeled_simulation_time(self):
+        with_reuse = LLMServingSim(small_config()).run(small_trace(seed=2))
+        without = LLMServingSim(small_config(enable_block_reuse=False,
+                                             enable_computation_reuse=False)).run(small_trace(seed=2))
+        assert with_reuse.modeled_simulation_time.engine < \
+            without.modeled_simulation_time.engine
+
+    def test_more_devices_not_slower(self):
+        small = LLMServingSim(small_config(npu_num=1)).run(small_trace(seed=3))
+        large = LLMServingSim(small_config(npu_num=4)).run(small_trace(seed=3))
+        assert large.makespan <= small.makespan * 1.05
+
+    def test_heterogeneous_pim_run(self):
+        config = small_config(pim_type="local")
+        result = LLMServingSim(config).run(small_trace(seed=4))
+        assert len(result.finished_requests) == 6
+
+    def test_pim_pool_run(self):
+        config = small_config(pim_type="pool")
+        result = LLMServingSim(config).run(small_trace(seed=4))
+        assert len(result.finished_requests) == 6
+
+    def test_throughput_series_and_tsv(self, tmp_path):
+        result = LLMServingSim(small_config()).run(small_trace())
+        series = result.throughput_series(bin_seconds=1.0)
+        assert series
+        assert sum(p.generation_throughput for p in series) > 0
+        tput = result.write_throughput_tsv(tmp_path / "out-throughput.tsv", bin_seconds=1.0)
+        simtime = result.write_simulation_time_tsv(tmp_path / "out-simulation-time.tsv")
+        assert tput.exists() and simtime.exists()
+        assert "prompt_throughput" in tput.read_text().splitlines()[0]
+
+    def test_single_batch_entry_point(self):
+        sim = LLMServingSim(small_config())
+        batch = BatchComposition([SequenceSpec(0, 0, 64, Phase.INITIATION)])
+        latency = sim.simulate_single_batch(batch)
+        assert latency > 0
+        assert sim.simtime.modeled.total > 0
+
+    def test_plug_in_engine_registration(self):
+        from repro.engine import GPUEngine
+        sim = LLMServingSim(small_config())
+        sim.engine_stack.register_engine(GPUEngine())
+        assert len(sim.engine_stack.engines) == 2
+
+
+class TestSimTimeTracker:
+    def test_measure_context_manager(self):
+        tracker = SimTimeTracker()
+        with tracker.measure("engine"):
+            pass
+        assert tracker.measured.engine >= 0
+        with pytest.raises(ValueError):
+            with tracker.measure("gpu"):
+                pass
+
+    def test_component_times_add(self):
+        a = ComponentTimes(scheduler=1, engine=2, graph_converter=3, system_sim=4)
+        b = ComponentTimes(scheduler=1, engine=1, graph_converter=1, system_sim=1)
+        a.add(b)
+        assert a.total == 14
+        assert a.as_dict()["engine"] == 3
+
+    def test_calibration_is_configurable(self):
+        calibration = SimTimeCalibration(scheduler_seconds_per_iteration=5.0)
+        tracker = SimTimeTracker(calibration)
+        from repro.engine.stack import EngineStackReport
+        from repro.graph.converter import ConversionStats
+        times = tracker.account_iteration(EngineStackReport(), ConversionStats(), num_requests=0)
+        assert times.scheduler == pytest.approx(5.0)
+
+
+class TestBaselines:
+    def test_vllm_reference_serves_everything(self):
+        ref = VLLMReferenceSystem(VLLMReferenceConfig(model_name="gpt2", num_gpus=1))
+        result = ref.run(small_trace(seed=6))
+        assert len(result.finished_requests) == 6
+        assert result.generation_throughput > 0
+
+    def test_vllm_reference_faster_with_more_gpus(self):
+        one = VLLMReferenceSystem(VLLMReferenceConfig(model_name="gpt3-7b", num_gpus=1))
+        four = VLLMReferenceSystem(VLLMReferenceConfig(model_name="gpt3-7b", num_gpus=4))
+        batch = BatchComposition([SequenceSpec(0, 0, 512, Phase.INITIATION)])
+        assert four.iteration_latency(batch) < one.iteration_latency(batch)
+
+    def test_neupims_throughput_positive_and_scales(self):
+        requests = BurstArrivalGenerator("alpaca", seed=1).generate(16).requests
+        small = NeuPIMsReference(NeuPIMsConfig(model_name="gpt3-7b", tensor_parallel=2))
+        large = NeuPIMsReference(NeuPIMsConfig(model_name="gpt3-7b", tensor_parallel=8))
+        t_small = small.throughput(list(requests), max_batch_size=16)
+        requests = BurstArrivalGenerator("alpaca", seed=1).generate(16).requests
+        t_large = large.throughput(list(requests), max_batch_size=16)
+        assert 0 < t_small < t_large
+
+    def test_baseline_simulator_ordering(self):
+        model = get_model("gpt3-7b")
+        times = {b.name: b.iteration_time(model) for b in baseline_simulators()}
+        assert times["mNPUsim"] > times["NeuPIMs"] > times["GeneSys"]
+
+    def test_baseline_simulator_scales_with_model(self):
+        sim = baseline_simulators()[0]
+        assert sim.iteration_time(get_model("gpt3-30b")) > sim.iteration_time(get_model("gpt3-7b"))
+
+
+class TestAnalysis:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == 1.0
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([1, 2], [1, 4]) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1], [1, 2])
+
+    def test_geometric_mean_error(self):
+        assert geometric_mean_error([0.1, 0.1]) == pytest.approx(0.1)
+        assert geometric_mean_error([]) == 0.0
+
+    def test_series_error_alignment(self):
+        a = [(1.0, 10.0), (2.0, 20.0), (3.0, 5.0)]
+        b = [(1.0, 10.0), (2.0, 10.0)]
+        assert series_error(a, b) == pytest.approx(0.5)
+
+    def test_series_error_skips_zero_reference(self):
+        a = [(1.0, 10.0), (2.0, 10.0)]
+        b = [(1.0, 10.0), (2.0, 0.0)]
+        assert series_error(a, b) == 0.0
+
+    def test_format_table(self):
+        text = format_table("T", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "== T ==" in text
+        assert "2.500" in text
+
+
+class TestCLI:
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        exit_code = cli_main([
+            "--model-name", "gpt2", "--npu-num", "2", "--npu-mem", "4",
+            "--dataset", "alpaca", "--num-requests", "4", "--rate", "5.0",
+            "--output", str(tmp_path / "run"),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "generation throughput" in captured
+        assert (tmp_path / "run-throughput.tsv").exists()
+        assert (tmp_path / "run-simulation-time.tsv").exists()
+
+    def test_cli_replays_trace_file(self, tmp_path, capsys):
+        from repro.workload import write_trace
+        trace = small_trace(count=3)
+        path = write_trace(trace, tmp_path / "trace.tsv")
+        exit_code = cli_main(["--model-name", "gpt2", "--npu-num", "1", "--npu-mem", "4",
+                              "--trace-file", str(path)])
+        assert exit_code == 0
+        assert "3/3 finished" in capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""Tests for the execution engine stack front-end and the result collector."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import IterationRecord, ServingResult
+from repro.engine import (ExecutionEngineStack, HeterogeneousMapper, NPUEngine, PIMEngine,
+                          SimulationCache)
+from repro.models import BatchComposition, Phase, SequenceSpec, build_iteration_graph, get_model
+from repro.system import DeviceType
+from repro.workload import Request
+
+MODEL = get_model("gpt2")
+
+
+def iteration_graph(n_gen=3, ctx=64, n_init=0, prompt=32):
+    sequences = [SequenceSpec(i, ctx, 1, Phase.GENERATION) for i in range(n_gen)]
+    sequences += [SequenceSpec(100 + i, 0, prompt, Phase.INITIATION) for i in range(n_init)]
+    return build_iteration_graph(MODEL, BatchComposition(sequences))
+
+
+class TestExecutionEngineStack:
+    def test_default_stack_estimates_every_operator(self):
+        stack = ExecutionEngineStack()
+        graph = iteration_graph()
+        result = stack.simulate_iteration(graph)
+        assert len(result.block_trace) == len(graph.block_operators)
+        assert len(result.embedding_and_head_trace) == 2
+        assert all(e.latency > 0 for e in result.block_trace)
+
+    def test_cache_hits_on_second_identical_iteration(self):
+        stack = ExecutionEngineStack()
+        graph = iteration_graph()
+        first = stack.simulate_iteration(graph)
+        second = stack.simulate_iteration(graph)
+        assert first.report.simulated_operators > 0
+        assert second.report.simulated_operators == 0
+        assert second.report.cached_operators == first.report.total_operators
+        # Cached estimates are identical to freshly simulated ones.
+        assert second.block_trace.total_latency == pytest.approx(first.block_trace.total_latency)
+
+    def test_disabled_cache_re_simulates(self):
+        stack = ExecutionEngineStack(cache=SimulationCache(enabled=False))
+        graph = iteration_graph()
+        stack.simulate_iteration(graph)
+        second = stack.simulate_iteration(graph)
+        assert second.report.simulated_operators > 0
+
+    def test_heterogeneous_mapping_reaches_pim(self):
+        stack = ExecutionEngineStack(
+            engines={DeviceType.NPU: NPUEngine(), DeviceType.PIM: PIMEngine()},
+            mapper=HeterogeneousMapper())
+        result = stack.simulate_iteration(iteration_graph(n_gen=4))
+        engines_used = {entry.engine for entry in result.block_trace}
+        assert DeviceType.PIM in engines_used
+        assert DeviceType.NPU in engines_used
+        assert result.report.operators_by_engine[DeviceType.PIM] > 0
+
+    def test_missing_engine_raises(self):
+        stack = ExecutionEngineStack(mapper=HeterogeneousMapper())  # no PIM engine registered
+        with pytest.raises(KeyError):
+            stack.simulate_iteration(iteration_graph(n_gen=2))
+
+    def test_register_engine(self):
+        stack = ExecutionEngineStack()
+        stack.register_engine(PIMEngine())
+        assert DeviceType.PIM in stack.engines
+
+    def test_sub_batch_traces_preserved(self):
+        stack = ExecutionEngineStack()
+        graph = iteration_graph(n_gen=4)
+        lists = [graph.block_operators[:5], graph.block_operators[5:]]
+        result = stack.simulate_iteration(graph, lists)
+        assert len(result.sub_batch_traces) == 2
+        assert len(result.sub_batch_traces[0]) == 5
+        assert result.schedule.makespan > 0
+
+    def test_reset_clears_cache_and_compiler(self):
+        stack = ExecutionEngineStack()
+        graph = iteration_graph()
+        stack.simulate_iteration(graph)
+        stack.reset()
+        after_reset = stack.simulate_iteration(graph)
+        assert after_reset.report.simulated_operators > 0
+        assert after_reset.report.compile_report.compiled_operators > 0
+
+    def test_attention_vs_non_attention_accounting(self):
+        stack = ExecutionEngineStack(cache=SimulationCache(enabled=False))
+        # Give every request a different context length so no two attention
+        # operators share a shape (shape-sharing operators are legitimately
+        # deduplicated by the cache when it is enabled).
+        sequences = [SequenceSpec(i, 64 + i, 1, Phase.GENERATION) for i in range(5)]
+        graph = build_iteration_graph(MODEL, BatchComposition(sequences))
+        result = stack.simulate_iteration(graph)
+        assert result.report.simulated_attention_operators == 3 * 5
+        assert result.report.simulated_non_attention_operators > 0
+
+    @given(n_gen=st.integers(1, 6), ctx=st.integers(16, 512))
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_contains_every_block_operator(self, n_gen, ctx):
+        stack = ExecutionEngineStack()
+        graph = iteration_graph(n_gen=n_gen, ctx=ctx)
+        result = stack.simulate_iteration(graph)
+        assert len(result.schedule.scheduled) == len(graph.block_operators)
+
+
+class TestServingResult:
+    def _result(self, records):
+        return ServingResult(model_name="gpt2", iterations=records)
+
+    def _record(self, index, start, end, prompt=0, generated=1, requests=1):
+        return IterationRecord(index=index, start_time=start, end_time=end,
+                               latency=end - start, num_requests=requests,
+                               prompt_tokens=prompt, generated_tokens=generated)
+
+    def test_empty_result(self):
+        result = self._result([])
+        assert result.makespan == 0.0
+        assert result.prompt_throughput == 0.0
+        assert result.throughput_series() == []
+        assert result.mean_end_to_end_latency() == 0.0
+
+    def test_throughput_accounting(self):
+        records = [self._record(0, 0.0, 1.0, prompt=100, generated=2),
+                   self._record(1, 1.0, 2.0, prompt=0, generated=2)]
+        result = self._result(records)
+        assert result.makespan == pytest.approx(2.0)
+        assert result.total_prompt_tokens == 100
+        assert result.total_generated_tokens == 4
+        assert result.prompt_throughput == pytest.approx(50.0)
+        assert result.generation_throughput == pytest.approx(2.0)
+        assert result.total_throughput == pytest.approx(52.0)
+
+    def test_throughput_series_binning(self):
+        records = [self._record(0, 0.0, 5.0, generated=10),
+                   self._record(1, 5.0, 25.0, generated=20)]
+        series = self._result(records).throughput_series(bin_seconds=10.0)
+        assert len(series) == 3
+        assert series[0].generation_throughput == pytest.approx(1.0)   # 10 tokens / 10 s
+        assert series[2].generation_throughput == pytest.approx(2.0)   # 20 tokens / 10 s
+        with pytest.raises(ValueError):
+            self._result(records).throughput_series(bin_seconds=0)
+
+    def test_request_latency_metrics(self):
+        request = Request(0, 10, 2, arrival_time=1.0)
+        request.record_prompt_done(2.0)
+        request.record_generated_token(3.0)
+        result = ServingResult(model_name="gpt2", requests=[request])
+        assert result.mean_time_to_first_token() == pytest.approx(1.0)
+        assert result.mean_end_to_end_latency() == pytest.approx(2.0)
+
+    def test_tsv_outputs(self, tmp_path):
+        records = [self._record(0, 0.0, 1.0, prompt=10, generated=1)]
+        result = self._result(records)
+        tput = result.write_throughput_tsv(tmp_path / "x-throughput.tsv", bin_seconds=1.0)
+        simtime = result.write_simulation_time_tsv(tmp_path / "x-simulation-time.tsv")
+        assert len(tput.read_text().splitlines()) >= 2
+        lines = simtime.read_text().splitlines()
+        assert lines[0].startswith("component")
+        assert any(line.startswith("total") for line in lines)

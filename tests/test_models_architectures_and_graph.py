@@ -1,0 +1,211 @@
+"""Unit tests for model architectures, iteration graphs and roofline analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import (BatchComposition, ModelConfig, Phase, RTX3090_PEAKS, SequenceSpec,
+                          analyze_phase, available_models, build_iteration_graph, get_model,
+                          register_model)
+from repro.models.roofline import DevicePeaks, analyze_operators
+
+
+class TestModelRegistry:
+    def test_known_models_present(self):
+        names = set(available_models())
+        for expected in ("gpt3-7b", "gpt3-13b", "gpt3-30b", "gpt3-175b", "llama-7b", "llama-30b"):
+            assert expected in names
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("GPT3-7B") is get_model("gpt3-7b")
+
+    def test_get_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-neo")
+
+    def test_register_conflicting_model_raises(self):
+        with pytest.raises(ValueError):
+            register_model(ModelConfig("gpt3-7b", num_layers=1, hidden_size=8,
+                                       num_heads=2, ffn_hidden_size=16))
+
+    def test_register_same_model_is_idempotent(self):
+        config = get_model("gpt3-7b")
+        assert register_model(config) is config
+
+    def test_parameter_counts_scale(self):
+        assert get_model("gpt3-175b").total_params > get_model("gpt3-30b").total_params > \
+            get_model("gpt3-7b").total_params
+
+    def test_gpt3_7b_parameter_count_in_range(self):
+        params = get_model("gpt3-7b").total_params
+        assert 6e9 < params < 8e9
+
+    def test_gpt3_175b_parameter_count_in_range(self):
+        params = get_model("gpt3-175b").total_params
+        assert 1.6e11 < params < 1.9e11
+
+    def test_kv_bytes_per_token(self):
+        model = get_model("gpt3-7b")
+        assert model.kv_bytes_per_token() == 2 * model.hidden_size * model.num_layers * 2
+        assert model.kv_bytes_per_token() == \
+            model.kv_bytes_per_token_per_block() * model.num_layers
+
+    def test_param_bytes_per_device_decreases_with_parallelism(self):
+        model = get_model("gpt3-30b")
+        full = model.param_bytes_per_device(1, 1)
+        assert model.param_bytes_per_device(4, 1) < full
+        assert model.param_bytes_per_device(1, 4) < full
+        with pytest.raises(ValueError):
+            model.param_bytes_per_device(0, 1)
+
+    def test_head_dim(self):
+        model = get_model("gpt3-7b")
+        assert model.head_dim * model.num_heads == model.hidden_size
+
+
+class TestSequenceAndBatch:
+    def test_sequence_validation(self):
+        with pytest.raises(ValueError):
+            SequenceSpec(0, 0, 0, Phase.INITIATION)
+        with pytest.raises(ValueError):
+            SequenceSpec(0, -1, 1, Phase.GENERATION)
+
+    def test_total_context(self):
+        assert SequenceSpec(0, 100, 1, Phase.GENERATION).total_context == 101
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchComposition([])
+
+    def test_batch_token_accounting(self):
+        batch = BatchComposition([
+            SequenceSpec(0, 0, 128, Phase.INITIATION),
+            SequenceSpec(1, 256, 1, Phase.GENERATION),
+        ])
+        assert batch.total_new_tokens == 129
+        assert batch.num_sequences == 2
+        assert len(batch.initiation_sequences) == 1
+        assert len(batch.generation_sequences) == 1
+        assert batch.dominant_phase is Phase.INITIATION
+
+    def test_dominant_phase_generation(self):
+        batch = BatchComposition([SequenceSpec(i, 100, 1, Phase.GENERATION) for i in range(8)])
+        assert batch.dominant_phase is Phase.GENERATION
+
+
+class TestIterationGraph:
+    @pytest.fixture
+    def model(self):
+        return get_model("gpt3-7b")
+
+    def test_block_structure(self, model):
+        batch = BatchComposition([SequenceSpec(0, 0, 64, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        names = [op.name for op in graph.block_operators]
+        assert any("qkv_gen" in n for n in names)
+        assert any("ffn_up" in n for n in names)
+        assert any("score" in n for n in names)
+        assert len(graph.embedding_operators) == 1
+        assert len(graph.head_operators) == 1
+        assert graph.num_blocks == model.num_layers
+
+    def test_attention_per_request(self, model):
+        batch = BatchComposition([SequenceSpec(i, 128, 1, Phase.GENERATION) for i in range(5)])
+        graph = build_iteration_graph(model, batch)
+        assert len(graph.attention_operators) == 3 * 5  # score, softmax, attend per request
+
+    def test_generation_attention_is_gemv(self, model):
+        batch = BatchComposition([SequenceSpec(0, 256, 1, Phase.GENERATION)])
+        graph = build_iteration_graph(model, batch)
+        score = [op for op in graph.attention_operators if "score" in op.name][0]
+        assert score.op_type.value == "gemv"
+
+    def test_initiation_attention_is_gemm(self, model):
+        batch = BatchComposition([SequenceSpec(0, 0, 256, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        score = [op for op in graph.attention_operators if "score" in op.name][0]
+        assert score.op_type.value == "gemm"
+
+    def test_operators_for_block_renames_and_reindexes(self, model):
+        batch = BatchComposition([SequenceSpec(0, 0, 32, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        block3 = graph.operators_for_block(3)
+        assert all(op.block_index == 3 for op in block3)
+        assert all(op.name.startswith("block3.") for op in block3)
+        assert len(block3) == len(graph.block_operators)
+
+    def test_all_operators_count(self, model):
+        batch = BatchComposition([SequenceSpec(0, 0, 16, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        expected = (len(graph.block_operators) * model.num_layers
+                    + len(graph.embedding_operators) + len(graph.head_operators))
+        assert len(graph.all_operators()) == expected
+
+    def test_total_flops_scales_with_blocks(self, model):
+        batch = BatchComposition([SequenceSpec(0, 0, 16, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        block_flops = sum(op.flops for op in graph.block_operators)
+        assert graph.total_flops > block_flops * model.num_layers
+        assert graph.total_bytes > 0
+
+    def test_prefill_flops_close_to_2nd_rule(self, model):
+        """Prefill FLOPs should be close to the standard ~2 * params * tokens rule."""
+        tokens = 512
+        batch = BatchComposition([SequenceSpec(0, 0, tokens, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        rule_of_thumb = 2.0 * model.total_params * tokens
+        assert 0.5 * rule_of_thumb < graph.total_flops < 2.5 * rule_of_thumb
+
+    @given(tokens=st.integers(1, 1024), context=st.integers(0, 1024))
+    @settings(max_examples=25, deadline=None)
+    def test_flops_and_bytes_nonnegative(self, tokens, context):
+        model = get_model("gpt2")
+        phase = Phase.INITIATION if context == 0 else Phase.GENERATION
+        batch = BatchComposition([SequenceSpec(0, context, tokens, phase)])
+        graph = build_iteration_graph(model, batch)
+        for op in graph.all_operators():
+            assert op.flops >= 0
+            assert op.total_bytes >= 0
+
+    @given(n_requests=st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_tokens_additive_across_requests(self, n_requests):
+        model = get_model("gpt2")
+        batch = BatchComposition([SequenceSpec(i, 0, 32, Phase.INITIATION)
+                                  for i in range(n_requests)])
+        graph = build_iteration_graph(model, batch)
+        qkv = [op for op in graph.block_operators if "qkv_gen" in op.name][0]
+        assert qkv.m == 32 * n_requests
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        device = DevicePeaks("x", peak_tflops=100.0, peak_bandwidth_gbs=1000.0)
+        assert device.ridge_point == pytest.approx(100.0)
+
+    def test_attainable_capped_at_peak(self):
+        device = DevicePeaks("x", peak_tflops=100.0, peak_bandwidth_gbs=1000.0)
+        assert device.attainable_tflops(1e6) == 100.0
+        assert device.attainable_tflops(1.0) == pytest.approx(1.0)
+
+    def test_analyze_phase_groups(self):
+        groups = analyze_phase(get_model("gpt3-7b"), 8, 128, Phase.GENERATION)
+        assert set(groups) == {"layernorm", "qkv_gen", "score", "attend", "ffn"}
+
+    def test_generation_attention_memory_bound(self):
+        groups = analyze_phase(get_model("gpt3-7b"), 32, 512, Phase.GENERATION)
+        assert not groups["score"].compute_bound
+        assert not groups["attend"].compute_bound
+
+    def test_initiation_ffn_compute_bound(self):
+        groups = analyze_phase(get_model("gpt3-7b"), 32, 512, Phase.INITIATION)
+        assert groups["ffn"].compute_bound
+        assert groups["qkv_gen"].compute_bound
+
+    def test_analyze_operators_matches_device(self):
+        model = get_model("gpt2")
+        batch = BatchComposition([SequenceSpec(0, 0, 64, Phase.INITIATION)])
+        graph = build_iteration_graph(model, batch)
+        points = analyze_operators(graph.block_operators, RTX3090_PEAKS)
+        assert len(points) == len(graph.block_operators)
+        for point in points:
+            assert point.attainable_tflops <= RTX3090_PEAKS.peak_tflops + 1e-9

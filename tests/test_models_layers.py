@@ -1,0 +1,81 @@
+"""Unit tests for the operator model (repro.models.layers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import DTYPE_BYTES, Operator, OpType, Phase
+from repro.models.layers import gemm_flops, gemv_flops
+
+
+def make_op(**overrides):
+    defaults = dict(name="op", op_type=OpType.GEMM, flops=1000.0, input_bytes=100.0,
+                    weight_bytes=200.0, output_bytes=50.0, phase=Phase.INITIATION,
+                    m=4, k=8, n=16)
+    defaults.update(overrides)
+    return Operator(**defaults)
+
+
+class TestOperator:
+    def test_total_bytes_sums_components(self):
+        op = make_op(input_bytes=10, weight_bytes=20, output_bytes=30)
+        assert op.total_bytes == 60
+
+    def test_arithmetic_intensity(self):
+        op = make_op(flops=600.0, input_bytes=100, weight_bytes=100, output_bytes=100)
+        assert op.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_arithmetic_intensity_zero_bytes(self):
+        op = make_op(input_bytes=0, weight_bytes=0, output_bytes=0)
+        assert op.arithmetic_intensity == 0.0
+
+    def test_memory_bound_classes(self):
+        assert make_op(op_type=OpType.GEMV).is_memory_bound_class
+        assert make_op(op_type=OpType.SOFTMAX).is_memory_bound_class
+        assert make_op(op_type=OpType.LAYERNORM).is_memory_bound_class
+        assert not make_op(op_type=OpType.GEMM).is_memory_bound_class
+
+    def test_signature_equal_for_identical_shapes(self):
+        a = make_op(name="a", request_id=1)
+        b = make_op(name="b", request_id=7)
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_with_dimensions(self):
+        assert make_op(m=4).signature() != make_op(m=8).signature()
+
+    def test_signature_differs_with_phase(self):
+        assert make_op(phase=Phase.INITIATION).signature() != \
+            make_op(phase=Phase.GENERATION).signature()
+
+    def test_scaled_divides_flops_and_bytes(self):
+        op = make_op(flops=1000, input_bytes=100, weight_bytes=200, output_bytes=50)
+        scaled = op.scaled(0.5)
+        assert scaled.flops == 500
+        assert scaled.input_bytes == 50
+        assert scaled.weight_bytes == 100
+        assert scaled.output_bytes == 25
+
+    def test_scaled_with_separate_bytes_factor(self):
+        op = make_op(flops=1000, input_bytes=100)
+        scaled = op.scaled(0.25, bytes_factor=1.0)
+        assert scaled.flops == 250
+        assert scaled.input_bytes == 100
+
+    def test_dtype_bytes_is_fp16(self):
+        assert DTYPE_BYTES == 2
+
+
+class TestFlopHelpers:
+    def test_gemm_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_gemv_flops(self):
+        assert gemv_flops(3, 4) == 24
+
+    @given(m=st.integers(1, 512), k=st.integers(1, 512), n=st.integers(1, 512))
+    def test_gemm_flops_positive_and_symmetric_in_mn(self, m, k, n):
+        assert gemm_flops(m, k, n) > 0
+        assert gemm_flops(m, k, n) == gemm_flops(n, k, m)
+
+    @given(m=st.integers(1, 256), k=st.integers(1, 256), n=st.integers(1, 256))
+    def test_gemv_is_gemm_with_unit_m(self, m, k, n):
+        assert gemv_flops(k, n) == gemm_flops(1, k, n)

@@ -1,0 +1,170 @@
+"""Unit tests for the workload substrate: requests, datasets, generators, trace I/O."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import (DATASET_PROFILES, BurstArrivalGenerator, LengthSampler,
+                            PoissonArrivalGenerator, Request, RequestState, generate_trace,
+                            get_profile, read_trace, write_trace)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, input_tokens=0, output_tokens=5)
+        with pytest.raises(ValueError):
+            Request(0, input_tokens=5, output_tokens=0)
+        with pytest.raises(ValueError):
+            Request(0, input_tokens=5, output_tokens=5, arrival_time=-1)
+
+    def test_initial_state(self):
+        request = Request(1, 10, 5, arrival_time=2.0)
+        assert request.state is RequestState.PENDING
+        assert request.context_length == 0
+        assert request.remaining_tokens == 5
+        assert not request.is_finished
+
+    def test_prompt_done_records_first_token(self):
+        request = Request(1, 10, 5)
+        request.record_prompt_done(3.0)
+        assert request.prompt_processed
+        assert request.first_token_time == 3.0
+        assert request.generated_tokens == 1
+        assert request.state is RequestState.GENERATION
+        assert request.context_length == 11
+
+    def test_generation_lifecycle(self):
+        request = Request(1, 10, 3, arrival_time=1.0)
+        request.record_prompt_done(2.0)
+        request.record_generated_token(3.0)
+        assert not request.is_finished
+        request.record_generated_token(4.5)
+        assert request.is_finished
+        assert request.finish_time == 4.5
+        assert request.end_to_end_latency == pytest.approx(3.5)
+        assert request.time_to_first_token == pytest.approx(1.0)
+
+    def test_single_output_token_finishes_at_prompt(self):
+        request = Request(1, 10, 1)
+        request.record_prompt_done(2.0)
+        assert request.is_finished
+
+    def test_generate_before_prompt_raises(self):
+        request = Request(1, 10, 5)
+        with pytest.raises(RuntimeError):
+            request.record_generated_token(1.0)
+
+    def test_latencies_none_before_completion(self):
+        request = Request(1, 10, 5)
+        assert request.time_to_first_token is None
+        assert request.end_to_end_latency is None
+
+
+class TestDatasets:
+    def test_profiles_exist(self):
+        assert "sharegpt" in DATASET_PROFILES
+        assert "alpaca" in DATASET_PROFILES
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("imagenet")
+
+    def test_sampler_determinism(self):
+        a = LengthSampler(get_profile("sharegpt"), seed=3).sample_many(20)
+        b = LengthSampler(get_profile("sharegpt"), seed=3).sample_many(20)
+        assert a == b
+
+    def test_sampler_respects_bounds(self):
+        profile = get_profile("alpaca")
+        for input_tokens, output_tokens in LengthSampler(profile, seed=1).sample_many(200):
+            assert profile.min_tokens <= input_tokens <= profile.max_tokens
+            assert profile.min_tokens <= output_tokens <= profile.max_tokens
+
+    def test_sharegpt_longer_than_alpaca_on_average(self):
+        sharegpt = LengthSampler(get_profile("sharegpt"), seed=2).sample_many(300)
+        alpaca = LengthSampler(get_profile("alpaca"), seed=2).sample_many(300)
+        mean_in = lambda samples: sum(s[0] for s in samples) / len(samples)
+        assert mean_in(sharegpt) > mean_in(alpaca)
+
+    def test_sample_many_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LengthSampler(get_profile("alpaca")).sample_many(-1)
+
+
+class TestGenerators:
+    def test_poisson_trace_sorted_and_sized(self):
+        trace = PoissonArrivalGenerator("sharegpt", rate_per_second=2.0, seed=0).generate(50)
+        assert len(trace) == 50
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert trace.arrival_process == "poisson"
+
+    def test_poisson_rate_controls_duration(self):
+        fast = PoissonArrivalGenerator("alpaca", rate_per_second=10.0, seed=1).generate(100)
+        slow = PoissonArrivalGenerator("alpaca", rate_per_second=1.0, seed=1).generate(100)
+        assert fast.duration < slow.duration
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalGenerator("alpaca", rate_per_second=0.0)
+
+    def test_burst_all_same_arrival(self):
+        trace = BurstArrivalGenerator("alpaca", seed=0).generate(20)
+        assert all(r.arrival_time == 0.0 for r in trace)
+        assert trace.duration == 0.0
+
+    def test_generate_trace_dispatch(self):
+        assert generate_trace("alpaca", 5, arrival="burst").arrival_process == "burst"
+        assert generate_trace("alpaca", 5, arrival="poisson").arrival_process == "poisson"
+        with pytest.raises(ValueError):
+            generate_trace("alpaca", 5, arrival="weibull")
+
+    def test_request_ids_unique(self):
+        trace = generate_trace("sharegpt", 64, seed=9)
+        ids = [r.request_id for r in trace]
+        assert len(set(ids)) == len(ids)
+
+    def test_token_totals_positive(self):
+        trace = generate_trace("sharegpt", 16, seed=4)
+        assert trace.total_input_tokens > 0
+        assert trace.total_output_tokens > 0
+
+    @given(count=st.integers(1, 40), seed=st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_generation_is_deterministic_per_seed(self, count, seed):
+        a = generate_trace("alpaca", count, seed=seed)
+        b = generate_trace("alpaca", count, seed=seed)
+        assert [(r.input_tokens, r.output_tokens, r.arrival_time) for r in a] == \
+            [(r.input_tokens, r.output_tokens, r.arrival_time) for r in b]
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = generate_trace("sharegpt", 20, seed=5)
+        path = write_trace(trace, tmp_path / "trace.tsv")
+        loaded = read_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored.input_tokens == original.input_tokens
+            assert restored.output_tokens == original.output_tokens
+            assert restored.arrival_time == pytest.approx(original.arrival_time, abs=1e-5)
+
+    def test_read_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.tsv"
+        path.write_text("10\t20\t0.5\n30\t40\t1.5\n")
+        trace = read_trace(path)
+        assert len(trace) == 2
+        assert trace.requests[0].input_tokens == 10
+        assert trace.requests[1].arrival_time == 1.5
+
+    def test_read_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_read_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10\t20\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
