@@ -1,0 +1,61 @@
+"""Cluster serving: bursty traffic across 4 replicas under three routers.
+
+Serves one Poisson-burst Alpaca trace with a 4-replica cluster (each
+replica a GPT3-7B system on 4 NPUs) once per routing policy, and compares
+the per-replica load split, cluster throughput and the SLO percentiles
+(time-to-first-token, time-between-tokens, end-to-end latency) the policies
+trade off against each other.  Note how the memory-pressure-based least-kv
+policy skews the split on short requests — KV occupancy lags queue depth,
+which is exactly the difference the cluster layer lets you study.
+
+Run with::
+
+    python examples/cluster_serving.py
+"""
+
+from repro import ClusterConfig, ClusterSimulator, ServingSimConfig, generate_trace
+from repro.analysis import print_table
+from repro.cluster import available_routers
+
+
+def make_trace():
+    # Bursts of simultaneous requests are what make routing policies
+    # differentiate: smooth traffic looks identical to every balancer.
+    return generate_trace("alpaca", num_requests=32, arrival="poisson-burst",
+                          rate_per_second=24.0, burst_size_mean=6.0, seed=11)
+
+
+def main() -> None:
+    replica = ServingSimConfig(
+        model_name="gpt3-7b",
+        npu_num=4,
+        npu_group=1,
+        scheduling="orca",
+        kv_manage="vllm",
+        max_batch=8,  # bounded per-replica batches, as in real deployments
+        graph_granularity="block",  # coarse graphs keep the walkthrough fast
+    )
+
+    rows = []
+    for routing in available_routers():
+        config = ClusterConfig(num_replicas=4, routing=routing, replica=replica)
+        result = ClusterSimulator(config).run(make_trace())
+        slos = result.slo_metrics()
+        rows.append([
+            routing,
+            "/".join(str(c) for c in result.requests_per_replica()),
+            f"{result.generation_throughput:.1f}",
+            f"{slos['ttft'].p99:.3f}",
+            f"{slos['tbt'].p95:.4f}",
+            f"{slos['e2e'].p99:.3f}",
+        ])
+
+    print_table(
+        "Cluster serving: 32 bursty Alpaca requests, 4x GPT3-7B replicas",
+        ["routing", "req/replica", "gen tok/s", "TTFT p99 (s)", "TBT p95 (s)", "E2E p99 (s)"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,8 @@ Quickstart::
     print(result.generation_throughput, "tokens/s")
 """
 
-from .core.config import ServingSimConfig
+from .cluster import ClusterResult, ClusterSimulator, available_routers, build_router
+from .core.config import ClusterConfig, ServingSimConfig
 from .core.results import IterationRecord, ServingResult, ThroughputPoint
 from .core.simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
 from .core.simulator import LLMServingSim
@@ -28,10 +29,11 @@ from .models.architectures import ModelConfig, available_models, get_model, regi
 from .workload.generator import RequestTrace, generate_trace
 from .workload.request import Request, RequestState
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "LLMServingSim", "ServingSimConfig", "ServingResult", "IterationRecord", "ThroughputPoint",
+    "ClusterSimulator", "ClusterConfig", "ClusterResult", "available_routers", "build_router",
     "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
     "ParallelismStrategy",
     "ModelConfig", "available_models", "get_model", "register_model",

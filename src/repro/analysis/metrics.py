@@ -1,19 +1,27 @@
-"""Error metrics used by the validation experiments.
+"""Error metrics and SLO statistics used by the validation experiments.
 
 The paper reports an average error rate of 14.7 % against the GPU serving
 system (Figure 6) and a geometric-mean error of 8.88 % against NeuPIMs
-(Figure 7).  This module implements those metrics: per-point relative
+(Figure 7).  This module implements those metrics — per-point relative
 errors, mean absolute percentage error over aligned throughput series, and
-the geometric mean of per-configuration error ratios.
+the geometric mean of per-configuration error ratios — plus the
+request-level SLO percentile statistics (p50/p95/p99 of time-to-first-token,
+time-between-tokens and end-to-end latency) the cluster serving layer
+reports.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..workload.request import Request
 
 __all__ = ["relative_error", "mean_absolute_percentage_error", "geometric_mean_error",
-           "align_series", "series_error"]
+           "align_series", "series_error",
+           "percentile", "SLOSummary", "slo_summary", "time_between_tokens",
+           "request_slo_metrics"]
 
 
 def relative_error(measured: float, reference: float) -> float:
@@ -82,3 +90,95 @@ def series_error(series_a: Sequence[Tuple[float, float]],
     if not errors:
         return 0.0
     return sum(errors) / len(errors)
+
+
+# -- request-level SLO statistics ---------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    ``q`` is expressed in percent (0-100).  Raises on an empty input so SLO
+    reports cannot silently conflate "no data" with "zero latency".
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be between 0 and 100")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass(frozen=True)
+class SLOSummary:
+    """Percentile summary of one latency metric across requests."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "SLOSummary":
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+
+def slo_summary(values: Sequence[float]) -> SLOSummary:
+    """Summarize latency samples into the percentiles SLOs are written against."""
+    values = list(values)
+    if not values:
+        return SLOSummary.empty()
+    return SLOSummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        maximum=max(values),
+    )
+
+
+def time_between_tokens(request: Request) -> float | None:
+    """Mean inter-token gap of a finished request's generation phase.
+
+    Defined for requests that generated at least two tokens; the first token
+    is covered by TTFT, so the gap is measured from the first token to
+    completion.
+    """
+    if request.first_token_time is None or request.finish_time is None:
+        return None
+    if request.generated_tokens < 2:
+        return None
+    return ((request.finish_time - request.first_token_time)
+            / (request.generated_tokens - 1))
+
+
+def request_slo_metrics(requests: Iterable[Request]) -> Dict[str, SLOSummary]:
+    """Compute the standard serving SLO summaries over a set of requests.
+
+    Returns summaries keyed ``"ttft"`` (time to first token), ``"tbt"``
+    (time between tokens) and ``"e2e"`` (end-to-end latency).  Requests that
+    have not reached the relevant milestone are excluded from that metric.
+    """
+    ttfts: List[float] = []
+    tbts: List[float] = []
+    e2es: List[float] = []
+    for request in requests:
+        if request.time_to_first_token is not None:
+            ttfts.append(request.time_to_first_token)
+        tbt = time_between_tokens(request)
+        if tbt is not None:
+            tbts.append(tbt)
+        if request.end_to_end_latency is not None:
+            e2es.append(request.end_to_end_latency)
+    return {"ttft": slo_summary(ttfts), "tbt": slo_summary(tbts), "e2e": slo_summary(e2es)}

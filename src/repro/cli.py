@@ -7,6 +7,12 @@ Example::
 
 produces the artifact's three outputs: a standard-output summary plus the
 ``*-throughput.tsv`` and ``*-simulation-time.tsv`` files.
+
+The ``cluster`` subcommand serves the trace across a multi-replica cluster
+behind a routing policy instead of a single system::
+
+    llmservingsim cluster --replicas 4 --routing least-outstanding \
+        --model-name gpt3-7b --npu-num 4 --num-requests 64 --arrival poisson-burst
 """
 
 from __future__ import annotations
@@ -16,22 +22,22 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core.config import ServingSimConfig
+from .cluster import ClusterSimulator, available_routers
+from .core.config import ClusterConfig, ServingSimConfig
 from .core.simulator import LLMServingSim
 from .graph.parallelism import ParallelismStrategy
 from .workload.generator import generate_trace
 from .workload.trace_io import read_trace
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_cluster_parser", "main", "cluster_main"]
+
+ARRIVAL_CHOICES = ["poisson", "burst", "poisson-burst", "diurnal"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Create the argument parser (exposed separately for testing)."""
-    parser = argparse.ArgumentParser(
-        prog="llmservingsim",
-        description="LLM inference serving HW/SW co-simulation (LLMServingSim reproduction)")
+def _add_serving_args(parser: argparse.ArgumentParser, arrival_default: str = "poisson") -> None:
+    """Arguments shared by the single-system interface and the cluster subcommand."""
     parser.add_argument("--model-name", default="gpt3-7b", help="model to serve")
-    parser.add_argument("--npu-num", type=int, default=16, help="number of NPUs")
+    parser.add_argument("--npu-num", type=int, default=16, help="number of NPUs (per system)")
     parser.add_argument("--npu-group", type=int, default=1, help="NPU groups for hybrid parallelism")
     parser.add_argument("--npu-mem", type=float, default=24.0, help="NPU local memory in GB")
     parser.add_argument("--max-batch", type=int, default=0, help="maximum batch size (0 = unlimited)")
@@ -39,25 +45,96 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scheduling", choices=["orca", "static"], default="orca")
     parser.add_argument("--parallel", choices=["tensor", "pipeline", "hybrid"], default="hybrid")
     parser.add_argument("--kv-manage", choices=["vllm", "max"], default="vllm")
+    parser.add_argument("--dataset", default="sharegpt", help="dataset profile or 'file'")
+    parser.add_argument("--trace-file", default=None, help="TSV trace file to replay")
+    parser.add_argument("--num-requests", type=int, default=64)
+    parser.add_argument("--rate", type=float, default=1.0, help="mean arrival rate (req/s)")
+    parser.add_argument("--arrival", choices=ARRIVAL_CHOICES, default=arrival_default)
+    parser.add_argument("--burst-size", type=float, default=4.0,
+                        help="mean burst size for poisson-burst arrivals")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iterations", type=int, default=None,
+                        help="iteration cap (per system)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="llmservingsim",
+        description="LLM inference serving HW/SW co-simulation (LLMServingSim reproduction)",
+        epilog="Run 'llmservingsim cluster --help' for the multi-replica "
+               "cluster serving subcommand.")
+    _add_serving_args(parser, arrival_default="poisson")
     parser.add_argument("--pim-type", choices=["none", "local", "pool"], default="none")
     parser.add_argument("--sub-batch", action="store_true", help="enable sub-batch interleaving")
     parser.add_argument("--no-reuse", action="store_true",
                         help="disable computation-reuse optimizations")
-    parser.add_argument("--dataset", default="sharegpt", help="dataset profile or 'file'")
-    parser.add_argument("--trace-file", default=None, help="TSV trace file to replay")
-    parser.add_argument("--num-requests", type=int, default=64)
-    parser.add_argument("--rate", type=float, default=1.0, help="Poisson arrival rate (req/s)")
-    parser.add_argument("--arrival", choices=["poisson", "burst"], default="poisson")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--max-iterations", type=int, default=None)
     parser.add_argument("--output", default=None, help="output path prefix for TSV files")
     parser.add_argument("--bin-seconds", type=float, default=30.0,
                         help="throughput reporting interval")
     return parser
 
 
+def build_cluster_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``cluster`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="llmservingsim cluster",
+        description="Serve a request trace across a multi-replica cluster")
+    parser.add_argument("--replicas", type=int, default=2, help="number of serving replicas")
+    parser.add_argument("--routing", choices=available_routers(), default="round-robin",
+                        help="request routing policy")
+    _add_serving_args(parser, arrival_default="poisson-burst")
+    return parser
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cluster`` subcommand; returns a process exit code."""
+    args = build_cluster_parser().parse_args(argv)
+
+    replica_config = ServingSimConfig(
+        model_name=args.model_name,
+        npu_num=args.npu_num,
+        npu_group=args.npu_group,
+        npu_mem_gb=args.npu_mem,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay,
+        scheduling=args.scheduling,
+        parallel=ParallelismStrategy(args.parallel),
+        kv_manage=args.kv_manage,
+        seed=args.seed,
+    )
+    config = ClusterConfig(num_replicas=args.replicas, routing=args.routing,
+                           replica=replica_config)
+
+    if args.trace_file:
+        trace = read_trace(args.trace_file, dataset=args.dataset)
+    else:
+        trace = generate_trace(args.dataset, args.num_requests, arrival=args.arrival,
+                               rate_per_second=args.rate, seed=args.seed,
+                               burst_size_mean=args.burst_size)
+
+    result = ClusterSimulator(config).run(
+        trace, max_iterations_per_replica=args.max_iterations)
+
+    print(f"model                 : {replica_config.model_name}")
+    print(f"cluster               : {config.num_replicas} replica(s), "
+          f"{result.routing} routing")
+    for row in result.summary_rows():
+        print(f"{row[0]:<22}: {row[1]}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``main(["cluster", ...])`` dispatches to the cluster subcommand; any
+    other invocation keeps the artifact's original flat single-system
+    interface.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     config = ServingSimConfig(
@@ -81,7 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace = read_trace(args.trace_file, dataset=args.dataset)
     else:
         trace = generate_trace(args.dataset, args.num_requests, arrival=args.arrival,
-                               rate_per_second=args.rate, seed=args.seed)
+                               rate_per_second=args.rate, seed=args.seed,
+                               burst_size_mean=args.burst_size)
 
     simulator = LLMServingSim(config)
     result = simulator.run(trace, max_iterations=args.max_iterations)

@@ -1,0 +1,13 @@
+"""Cluster serving layer: replicated serving systems behind a request router."""
+
+from .results import ClusterResult
+from .router import (LeastKVUtilizationRouter, LeastOutstandingRouter, RequestRouter,
+                     RoundRobinRouter, available_routers, build_router, register_router)
+from .simulator import ClusterSimulator, Replica
+
+__all__ = [
+    "ClusterResult",
+    "RequestRouter", "RoundRobinRouter", "LeastOutstandingRouter",
+    "LeastKVUtilizationRouter", "available_routers", "build_router", "register_router",
+    "ClusterSimulator", "Replica",
+]

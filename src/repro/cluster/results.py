@@ -1,0 +1,136 @@
+"""Aggregated results of a cluster simulation run.
+
+A :class:`ClusterResult` merges the per-replica
+:class:`~repro.core.results.ServingResult` objects produced by
+:class:`~repro.cluster.simulator.ClusterSimulator` into cluster-level
+serving metrics — aggregate throughput over the cluster makespan, the
+request-to-replica assignment, per-replica load imbalance — and the
+request-level SLO percentiles (p50/p95/p99 of TTFT, time-between-tokens and
+end-to-end latency) that production serving deployments are judged by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.metrics import SLOSummary, request_slo_metrics
+from ..core.results import ServingResult
+from ..workload.request import Request
+
+__all__ = ["ClusterResult"]
+
+
+@dataclass
+class ClusterResult:
+    """Full outcome of a multi-replica cluster simulation.
+
+    Attributes
+    ----------
+    routing:
+        Name of the routing policy that produced the assignment.
+    replica_results:
+        One :class:`ServingResult` per replica, in replica-index order.
+    assignments:
+        Mapping of request id to the replica index it was routed to.
+    """
+
+    routing: str
+    replica_results: List[ServingResult] = field(default_factory=list)
+    assignments: Dict[int, int] = field(default_factory=dict)
+
+    # -- request-level views ---------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replica_results)
+
+    @property
+    def requests(self) -> List[Request]:
+        """All requests served by the cluster, across every replica."""
+        return [r for result in self.replica_results for r in result.requests]
+
+    @property
+    def finished_requests(self) -> List[Request]:
+        return [r for r in self.requests if r.is_finished]
+
+    def requests_per_replica(self) -> List[int]:
+        """Number of requests routed to each replica."""
+        return [len(result.requests) for result in self.replica_results]
+
+    def assignment_imbalance(self) -> float:
+        """Max-over-mean ratio of per-replica request counts (1.0 = balanced)."""
+        counts = self.requests_per_replica()
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+    # -- aggregate serving metrics --------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Cluster busy interval: earliest iteration start to latest end."""
+        starts = [res.iterations[0].start_time for res in self.replica_results
+                  if res.iterations]
+        ends = [res.iterations[-1].end_time for res in self.replica_results
+                if res.iterations]
+        if not starts:
+            return 0.0
+        return max(ends) - min(starts)
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(res.total_prompt_tokens for res in self.replica_results)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(res.total_generated_tokens for res in self.replica_results)
+
+    @property
+    def prompt_throughput(self) -> float:
+        """Cluster-wide prompt tokens per second over the cluster makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_prompt_tokens / self.makespan
+
+    @property
+    def generation_throughput(self) -> float:
+        """Cluster-wide generated tokens per second over the cluster makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_generated_tokens / self.makespan
+
+    @property
+    def total_throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return (self.total_prompt_tokens + self.total_generated_tokens) / self.makespan
+
+    # -- SLO metrics -----------------------------------------------------------
+
+    def slo_metrics(self) -> Dict[str, SLOSummary]:
+        """p50/p95/p99 summaries of TTFT, time-between-tokens and E2E latency.
+
+        Keys are ``"ttft"``, ``"tbt"`` and ``"e2e"``; see
+        :func:`repro.analysis.metrics.request_slo_metrics`.
+        """
+        return request_slo_metrics(self.requests)
+
+    def summary_rows(self) -> List[List[str]]:
+        """Rows for :func:`repro.analysis.reporting.format_table` summaries."""
+        slos = self.slo_metrics()
+        rows = [
+            ["replicas", str(self.num_replicas)],
+            ["routing", self.routing],
+            ["requests finished", f"{len(self.finished_requests)}/{len(self.requests)}"],
+            ["requests per replica", "/".join(str(c) for c in self.requests_per_replica())],
+            ["cluster makespan (s)", f"{self.makespan:.2f}"],
+            ["generation throughput (tok/s)", f"{self.generation_throughput:.1f}"],
+            ["total throughput (tok/s)", f"{self.total_throughput:.1f}"],
+        ]
+        for key, label in (("ttft", "TTFT"), ("tbt", "TBT"), ("e2e", "E2E latency")):
+            summary = slos[key]
+            rows.append([f"{label} p50/p95/p99 (s)",
+                         f"{summary.p50:.3f} / {summary.p95:.3f} / {summary.p99:.3f}"])
+        return rows

@@ -1,0 +1,105 @@
+"""Request routing policies for the multi-replica cluster serving layer.
+
+The router is the cluster's load balancer: every arriving request is handed
+to exactly one serving replica.  Policies only see the lightweight
+:class:`ReplicaView` protocol (outstanding request count, KV-cache
+utilization, assignment counter), so custom policies can be registered
+without importing the simulator stack.
+
+Built-in policies:
+
+* ``"round-robin"`` — cycle through replicas in order, ignoring load.
+* ``"least-outstanding"`` — pick the replica with the fewest queued +
+  running requests (the classic least-outstanding-requests balancer).
+* ``"least-kv"`` — pick the replica with the lowest KV-cache utilization,
+  which tracks *memory* pressure rather than request count and therefore
+  behaves differently when request lengths are skewed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..workload.request import Request
+
+__all__ = ["RequestRouter", "RoundRobinRouter", "LeastOutstandingRouter",
+           "LeastKVUtilizationRouter", "available_routers", "build_router",
+           "register_router"]
+
+
+class RequestRouter:
+    """Interface of a routing policy.
+
+    ``select`` receives the replica views in index order plus the request to
+    place and returns the chosen replica index.  Routers may keep internal
+    state (e.g. the round-robin cursor); one router instance drives one
+    cluster run.
+    """
+
+    name = "base"
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(RequestRouter):
+    """Cycle through replicas regardless of their load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        index = self._cursor % len(replicas)
+        self._cursor += 1
+        return index
+
+
+class LeastOutstandingRouter(RequestRouter):
+    """Send the request to the replica with the fewest outstanding requests."""
+
+    name = "least-outstanding"
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].outstanding_requests, i))
+
+
+class LeastKVUtilizationRouter(RequestRouter):
+    """Send the request to the replica with the most free KV-cache budget."""
+
+    name = "least-kv"
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].kv_utilization, i))
+
+
+_ROUTER_FACTORIES: Dict[str, Callable[[], RequestRouter]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRouter.name: LeastOutstandingRouter,
+    LeastKVUtilizationRouter.name: LeastKVUtilizationRouter,
+}
+
+
+def register_router(name: str, factory: Callable[[], RequestRouter]) -> None:
+    """Register a custom routing policy under ``name`` (overwrites allowed)."""
+    if not name:
+        raise ValueError("router name must be non-empty")
+    _ROUTER_FACTORIES[name] = factory
+
+
+def available_routers() -> list:
+    """Names of all registered routing policies."""
+    return sorted(_ROUTER_FACTORIES)
+
+
+def build_router(name: str) -> RequestRouter:
+    """Create a router by policy name (the cluster config's ``routing`` knob)."""
+    try:
+        factory = _ROUTER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown routing policy {name!r}; "
+                         f"expected one of {available_routers()}") from None
+    return factory()

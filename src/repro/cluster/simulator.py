@@ -1,0 +1,157 @@
+"""ClusterSimulator: N serving replicas behind a pluggable request router.
+
+The single-system :class:`~repro.core.simulator.LLMServingSim` models one
+serving instance (one device group running one model copy).  Production
+deployments serve heavy traffic with many such instances behind a load
+balancer, so this module scales the co-simulation out: it instantiates
+``num_replicas`` fully independent ``LLMServingSim`` stacks — each with its
+own scheduler, KV-cache manager, engine stack and system simulator — and
+replays a request trace through a routing policy on a shared timeline.
+
+The cluster loop interleaves the replicas on arrival boundaries: before a
+request is routed, every replica is stepped until its local clock catches up
+with the arrival time, so load-aware policies (least-outstanding-requests,
+least-KV-utilization) observe each replica's queue and memory state *as of
+the arrival*, not as of the end of the run.  Iterations in flight when a
+request arrives are allowed to finish first, matching how iteration-level
+schedulers pick up new work only at iteration boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import ClusterConfig
+from ..core.simulator import LLMServingSim
+from ..workload.generator import RequestTrace
+from ..workload.request import Request
+from .results import ClusterResult
+from .router import RequestRouter, build_router
+
+__all__ = ["Replica", "ClusterSimulator"]
+
+
+class Replica:
+    """One serving replica plus the load view the router selects on."""
+
+    def __init__(self, replica_id: int, simulator: LLMServingSim) -> None:
+        self.replica_id = replica_id
+        self.simulator = simulator
+        self.iterations_run = 0
+
+    # -- ReplicaView protocol (what routing policies may observe) -------------
+
+    @property
+    def outstanding_requests(self) -> int:
+        """Requests queued or running on this replica right now."""
+        scheduler = self.simulator.scheduler
+        return len(scheduler.pending) + len(scheduler.running)
+
+    @property
+    def kv_utilization(self) -> float:
+        """Fraction of this replica's KV-cache budget currently in use."""
+        return self.simulator.kv_manager.utilization()
+
+    # -- simulation control ----------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self.simulator.clock
+
+    @property
+    def has_work(self) -> bool:
+        return self.simulator.has_work
+
+    def submit(self, request: Request) -> None:
+        self.simulator.submit([request])
+
+    def step(self) -> bool:
+        """Simulate one iteration; returns False when no progress is possible."""
+        record = self.simulator.step()
+        if record is None:
+            return False
+        self.iterations_run += 1
+        return True
+
+    def advance_until(self, time: float, max_iterations: Optional[int] = None) -> None:
+        """Step this replica until its clock reaches ``time`` or it runs dry."""
+        while self.has_work and self.clock < time:
+            if max_iterations is not None and self.iterations_run >= max_iterations:
+                return
+            if not self.step():
+                return
+
+
+class ClusterSimulator:
+    """Simulate a cluster of LLM serving replicas behind a request router.
+
+    Parameters
+    ----------
+    config:
+        Cluster shape and the per-replica serving configuration.
+    router:
+        Optional pre-built routing policy; defaults to the policy named by
+        ``config.routing``.  Custom policies registered through
+        :func:`repro.cluster.register_router` are resolved the same way.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 router: Optional[RequestRouter] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.router = router or build_router(self.config.routing)
+        self.replicas: List[Replica] = [
+            Replica(i, LLMServingSim(self.config.replica))
+            for i in range(self.config.num_replicas)
+        ]
+        self.assignments: Dict[int, int] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, workload: "RequestTrace | Sequence[Request]",
+            max_iterations_per_replica: Optional[int] = None) -> ClusterResult:
+        """Serve a request trace across the cluster to completion.
+
+        Parameters
+        ----------
+        workload:
+            A request trace or plain list of requests; arrival order defines
+            routing order.
+        max_iterations_per_replica:
+            Optional safety cap on iterations simulated per replica.
+
+        Returns
+        -------
+        ClusterResult
+            Per-replica results, the routing assignment and cluster-level
+            throughput / SLO metrics.
+        """
+        requests = (list(workload.requests) if isinstance(workload, RequestTrace)
+                    else list(workload))
+        requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+        for request in requests:
+            # Catch every replica up to this arrival so load-aware policies
+            # see current queue depth and KV occupancy, then route.
+            for replica in self.replicas:
+                replica.advance_until(request.arrival_time, max_iterations_per_replica)
+            index = self.router.select(self.replicas, request)
+            if not 0 <= index < len(self.replicas):
+                raise ValueError(f"router {self.router.name!r} chose invalid "
+                                 f"replica index {index}")
+            self.replicas[index].submit(request)
+            self.assignments[request.request_id] = index
+
+        # All requests are placed: drain every replica.
+        for replica in self.replicas:
+            while replica.has_work:
+                if (max_iterations_per_replica is not None
+                        and replica.iterations_run >= max_iterations_per_replica):
+                    break
+                if not replica.step():
+                    break
+
+        return ClusterResult(
+            routing=self.router.name,
+            replica_results=[r.simulator.collect_result() for r in self.replicas],
+            assignments=dict(self.assignments),
+        )

@@ -1,12 +1,12 @@
 """Core package: configuration, orchestration loop, results and simulation-time accounting."""
 
-from .config import ServingSimConfig
+from .config import ClusterConfig, ServingSimConfig
 from .results import IterationRecord, ServingResult, ThroughputPoint
 from .simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
 from .simulator import LLMServingSim
 
 __all__ = [
-    "ServingSimConfig",
+    "ServingSimConfig", "ClusterConfig",
     "IterationRecord", "ServingResult", "ThroughputPoint",
     "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
     "LLMServingSim",

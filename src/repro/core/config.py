@@ -21,7 +21,7 @@ from ..system.network import NetworkConfig
 from ..system.topology import PIMMode
 from .simtime import SimTimeCalibration
 
-__all__ = ["ServingSimConfig"]
+__all__ = ["ServingSimConfig", "ClusterConfig"]
 
 
 @dataclass
@@ -51,6 +51,10 @@ class ServingSimConfig:
         KV-cache management scheme: ``"vllm"`` (paged) or ``"max"``.
     kv_page_tokens:
         Page size in tokens for the paged manager.
+    kv_capacity_bytes:
+        Explicit KV-cache budget override in bytes.  ``None`` (the default)
+        derives the budget from the device memory left after model weights
+        and activations; tests and capacity studies set it directly.
     pim_type:
         PIM provisioning: ``"none"``, ``"local"`` or ``"pool"``.
     sub_batch:
@@ -82,6 +86,7 @@ class ServingSimConfig:
     npu_mem_gb: float = 24.0
     kv_manage: str = "vllm"
     kv_page_tokens: int = 16
+    kv_capacity_bytes: Optional[int] = None
     pim_type: str = "none"
     sub_batch: bool = False
     num_sub_batches: int = 2
@@ -110,6 +115,8 @@ class ServingSimConfig:
             raise ValueError("sub_batch interleaving requires a PIM-enabled system")
         if self.num_sub_batches <= 0:
             raise ValueError("num_sub_batches must be positive")
+        if self.kv_capacity_bytes is not None and self.kv_capacity_bytes <= 0:
+            raise ValueError("kv_capacity_bytes must be positive when set")
         if isinstance(self.parallel, str):
             self.parallel = ParallelismStrategy(self.parallel)
         if isinstance(self.graph_granularity, str):
@@ -131,3 +138,34 @@ class ServingSimConfig:
         if self.parallel is ParallelismStrategy.PIPELINE:
             return self.npu_num
         return self.npu_group
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of a multi-replica serving cluster.
+
+    A cluster is ``num_replicas`` independent :class:`ServingSimConfig`-shaped
+    serving systems (each with its own scheduler, KV manager and engine stack)
+    behind a request router.  Routing-policy names are resolved by
+    :func:`repro.cluster.build_router`; the built-in policies are
+    ``"round-robin"``, ``"least-outstanding"`` and ``"least-kv"``.
+
+    Attributes
+    ----------
+    num_replicas:
+        Number of serving replicas behind the router.
+    routing:
+        Name of the request-routing policy.
+    replica:
+        Configuration template every replica is built from.
+    """
+
+    num_replicas: int = 2
+    routing: str = "round-robin"
+    replica: ServingSimConfig = field(default_factory=ServingSimConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if not self.routing:
+            raise ValueError("routing policy name must be non-empty")

@@ -92,8 +92,9 @@ class LLMServingSim:
 
         budget = compute_kv_budget(self.model, cfg.npu_num, cfg.npu_mem_bytes)
         self.memory_budget = budget
+        kv_capacity = cfg.kv_capacity_bytes or budget.kv_capacity_bytes
         self.kv_manager = build_kv_manager(cfg.kv_manage, self.model,
-                                           budget.kv_capacity_bytes, cfg.kv_page_tokens)
+                                           kv_capacity, cfg.kv_page_tokens)
         self.scheduler = build_scheduler(cfg.scheduling, self.kv_manager,
                                          cfg.max_batch, cfg.batch_delay)
         self.converter = GraphConverter(self.topology, self.plan, cfg.graph_granularity)
@@ -101,6 +102,79 @@ class LLMServingSim:
         self.partitioner = (SubBatchPartitioner(cfg.num_sub_batches)
                             if cfg.sub_batch else None)
         self.simtime = SimTimeTracker(cfg.calibration)
+        self.result = ServingResult(model_name=self.model.name)
+
+    # -- incremental API -------------------------------------------------------
+    #
+    # ``submit`` + ``step`` expose the co-simulation loop one iteration at a
+    # time so external drivers (notably :class:`repro.cluster.ClusterSimulator`)
+    # can interleave several replicas on a common timeline.  ``run`` is the
+    # batch front-end built on top of them.
+
+    @property
+    def clock(self) -> float:
+        """The replica's current simulated wall-clock time."""
+        return self.scheduler.clock
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any submitted request still needs processing."""
+        return self.scheduler.has_work
+
+    def submit(self, workload: "RequestTrace | Sequence[Request]") -> None:
+        """Hand requests to the scheduler; callable repeatedly mid-simulation."""
+        requests = list(workload.requests) if isinstance(workload, RequestTrace) else list(workload)
+        self.scheduler.submit(requests)
+        self.result.requests.extend(requests)
+
+    def step(self) -> Optional[IterationRecord]:
+        """Simulate one serving iteration, skipping idle gaps in the timeline.
+
+        Returns the iteration's record, or ``None`` when no further progress
+        is possible — either all work is done or the remaining requests are
+        stuck (e.g. a request larger than the KV budget).
+        """
+        while self.scheduler.has_work:
+            with self.simtime.measure("scheduler"):
+                plan = self.scheduler.next_iteration()
+            if plan is None:
+                next_arrival = self.scheduler.next_arrival_time()
+                if next_arrival is None:
+                    return None
+                target = next_arrival + self.config.batch_delay
+                if self.scheduler.clock >= target:
+                    # The clock already passed every pending arrival yet no
+                    # batch could be formed: stalled, stop rather than spin.
+                    return None
+                self.scheduler.clock = target
+                continue
+
+            latency = self.simulate_iteration_latency(plan)
+            start_time = self.scheduler.clock
+            with self.simtime.measure("scheduler"):
+                self.scheduler.complete_iteration(plan, latency)
+
+            record = IterationRecord(
+                index=plan.iteration_index,
+                start_time=start_time,
+                end_time=self.scheduler.clock,
+                latency=latency,
+                num_requests=plan.num_requests,
+                prompt_tokens=plan.prompt_tokens,
+                generated_tokens=plan.generation_tokens,
+                evictions=sum(1 for e in plan.memory_events if e.event_type.value == "evict"),
+                reloads=sum(1 for e in plan.memory_events if e.event_type.value == "reload"),
+                kv_utilization=self.kv_manager.utilization(),
+            )
+            self.result.iterations.append(record)
+            return record
+        return None
+
+    def collect_result(self) -> ServingResult:
+        """Snapshot the accumulated result with up-to-date timing breakdowns."""
+        self.result.measured_simulation_time = self.simtime.measured
+        self.result.modeled_simulation_time = self.simtime.modeled
+        return self.result
 
     # -- public API ------------------------------------------------------------
 
@@ -121,48 +195,15 @@ class LLMServingSim:
             Per-iteration records, request-level metrics and the
             simulation-time breakdown.
         """
-        requests = list(workload.requests) if isinstance(workload, RequestTrace) else list(workload)
-        self.scheduler.submit(requests)
-        result = ServingResult(model_name=self.model.name, requests=requests)
-
+        self.submit(workload)
         iterations = 0
         while self.scheduler.has_work:
             if max_iterations is not None and iterations >= max_iterations:
                 break
-            with self.simtime.measure("scheduler"):
-                plan = self.scheduler.next_iteration()
-            if plan is None:
-                next_arrival = self.scheduler.next_arrival_time()
-                if next_arrival is None:
-                    # Requests remain but none can make progress (e.g. a single
-                    # request larger than the KV budget): stop rather than spin.
-                    break
-                self.scheduler.clock = max(self.scheduler.clock,
-                                           next_arrival + self.config.batch_delay)
-                continue
-
-            latency = self.simulate_iteration_latency(plan)
-            start_time = self.scheduler.clock
-            with self.simtime.measure("scheduler"):
-                self.scheduler.complete_iteration(plan, latency)
-
-            result.iterations.append(IterationRecord(
-                index=plan.iteration_index,
-                start_time=start_time,
-                end_time=self.scheduler.clock,
-                latency=latency,
-                num_requests=plan.num_requests,
-                prompt_tokens=plan.prompt_tokens,
-                generated_tokens=plan.generation_tokens,
-                evictions=sum(1 for e in plan.memory_events if e.event_type.value == "evict"),
-                reloads=sum(1 for e in plan.memory_events if e.event_type.value == "reload"),
-                kv_utilization=self.kv_manager.utilization(),
-            ))
+            if self.step() is None:
+                break
             iterations += 1
-
-        result.measured_simulation_time = self.simtime.measured
-        result.modeled_simulation_time = self.simtime.modeled
-        return result
+        return self.collect_result()
 
     # -- single-iteration pipeline ----------------------------------------------
 

@@ -55,7 +55,15 @@ class KVMemoryEvent:
 
 
 class KVCacheManager:
-    """Common interface of the KV-cache management schemes."""
+    """Common interface of the KV-cache management schemes.
+
+    Token-accounting convention shared by every implementation: admitting a
+    request with ``num_tokens`` prompt tokens reserves ``num_tokens + 1``
+    cache slots — the prompt plus the first token generated at the end of the
+    initiation iteration.  ``tokens_of`` therefore reports ``num_tokens + 1``
+    right after admission for every manager, so paged-vs-max ablations
+    compare identical trajectories.
+    """
 
     name = "base"
 
@@ -72,12 +80,29 @@ class KVCacheManager:
         raise NotImplementedError
 
     def admit(self, request_id: int, num_tokens: int) -> None:
-        """Reserve cache space for a newly admitted request's prompt."""
+        """Reserve cache space for a newly admitted request's prompt.
+
+        Reserves ``num_tokens + 1`` slots (prompt + first generated token).
+        """
+        raise NotImplementedError
+
+    def tokens_of(self, request_id: int) -> int:
+        """Tokens currently accounted to an active request's cache."""
         raise NotImplementedError
 
     def can_grow(self, request_id: int, additional_tokens: int = 1) -> bool:
         """Whether an active request can extend its cache by ``additional_tokens``."""
         raise NotImplementedError
+
+    def can_ever_grow(self, request_id: int, additional_tokens: int = 1) -> bool:
+        """Whether the growth could *ever* succeed, given unlimited evictions.
+
+        ``False`` means the request hit a hard per-sequence cap (the manager's
+        maximum sequence length, or a footprint larger than the whole cache)
+        that freeing capacity cannot lift; schedulers truncate such requests
+        instead of stalling them forever.
+        """
+        return True
 
     def grow(self, request_id: int, additional_tokens: int = 1) -> None:
         """Extend an active request's cache (one generated token by default)."""
@@ -185,6 +210,10 @@ class PagedKVCacheManager(KVCacheManager):
         needed = self._pages_for(entry.tokens + additional_tokens) - entry.pages
         return needed <= self.free_pages
 
+    def can_ever_grow(self, request_id: int, additional_tokens: int = 1) -> bool:
+        entry = self._entries[request_id]
+        return self._pages_for(entry.tokens + additional_tokens) <= self.total_pages
+
     def grow(self, request_id: int, additional_tokens: int = 1) -> None:
         entry = self._entries[request_id]
         if entry.evicted:
@@ -202,20 +231,36 @@ class PagedKVCacheManager(KVCacheManager):
 
     # -- eviction / reload ---------------------------------------------------
 
-    def evict_last_admitted(self) -> Optional[int]:
-        """Evict the most recently admitted resident request to host memory.
-
-        Returns the evicted request id, or ``None`` if nothing is resident.
-        """
+    def _eviction_candidate(self, protected: Optional[set] = None) -> Optional[int]:
+        """Most recently admitted resident request outside ``protected``."""
+        protected = protected or set()
         for request_id in reversed(self._admission_order):
             entry = self._entries[request_id]
-            if not entry.evicted:
-                entry.evicted = True
-                self.events.append(KVMemoryEvent(
-                    event_type=KVMemoryEventType.EVICT, request_id=request_id,
-                    num_bytes=entry.pages * self.page_bytes))
+            if not entry.evicted and request_id not in protected:
                 return request_id
         return None
+
+    def _evict(self, request_id: int) -> None:
+        """Move one resident request to host memory and record the event."""
+        entry = self._entries[request_id]
+        if entry.evicted:
+            raise RuntimeError(f"request {request_id} is already evicted")
+        entry.evicted = True
+        self.events.append(KVMemoryEvent(
+            event_type=KVMemoryEventType.EVICT, request_id=request_id,
+            num_bytes=entry.pages * self.page_bytes))
+
+    def evict_last_admitted(self, protected: Optional[List[int]] = None) -> Optional[int]:
+        """Evict the most recently admitted resident request to host memory.
+
+        ``protected`` requests are never evicted.  Returns the evicted
+        request id, or ``None`` if nothing evictable is resident.
+        """
+        candidate = self._eviction_candidate(set(protected or []))
+        if candidate is None:
+            return None
+        self._evict(candidate)
+        return candidate
 
     def can_reload(self, request_id: int) -> bool:
         entry = self._entries[request_id]
@@ -244,18 +289,9 @@ class PagedKVCacheManager(KVCacheManager):
         protected_set = set(protected or [request_id])
         evicted: List[int] = []
         while not self.can_grow(request_id, additional_tokens):
-            candidate = None
-            for rid in reversed(self._admission_order):
-                entry = self._entries[rid]
-                if not entry.evicted and rid not in protected_set:
-                    candidate = rid
-                    break
+            candidate = self.evict_last_admitted(protected=list(protected_set))
             if candidate is None:
                 break
-            self._entries[candidate].evicted = True
-            self.events.append(KVMemoryEvent(
-                event_type=KVMemoryEventType.EVICT, request_id=candidate,
-                num_bytes=self._entries[candidate].pages * self.page_bytes))
             evicted.append(candidate)
         return evicted
 
@@ -286,7 +322,7 @@ class MaxAllocKVCacheManager(KVCacheManager):
         return events
 
     def can_admit(self, num_tokens: int) -> bool:
-        if num_tokens > self.max_seq_len:
+        if num_tokens + 1 > self.max_seq_len:
             return False
         return self.used_bytes() + self.reservation_bytes <= self.capacity_bytes
 
@@ -295,10 +331,19 @@ class MaxAllocKVCacheManager(KVCacheManager):
             raise ValueError(f"request {request_id} is already admitted")
         if not self.can_admit(num_tokens):
             raise MemoryError(f"not enough reserved KV space to admit request {request_id}")
-        self._requests[request_id] = num_tokens
+        # Same convention as the paged manager: prompt + first generated token.
+        self._requests[request_id] = num_tokens + 1
+
+    def tokens_of(self, request_id: int) -> int:
+        return self._requests[request_id]
 
     def can_grow(self, request_id: int, additional_tokens: int = 1) -> bool:
         return self._requests[request_id] + additional_tokens <= self.max_seq_len
+
+    def can_ever_grow(self, request_id: int, additional_tokens: int = 1) -> bool:
+        # The reservation never changes, so a growth that fails now (the
+        # max_seq_len cap) can never succeed later.
+        return self.can_grow(request_id, additional_tokens)
 
     def grow(self, request_id: int, additional_tokens: int = 1) -> None:
         if not self.can_grow(request_id, additional_tokens):

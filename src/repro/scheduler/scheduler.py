@@ -38,6 +38,8 @@ class SchedulerStats:
     finished_requests: int = 0
     evictions: int = 0
     reloads: int = 0
+    stalled_growths: int = 0
+    truncated_requests: int = 0
     max_batch_size_seen: int = 0
 
 
@@ -136,6 +138,19 @@ class BaseScheduler:
         self.kv_manager.release(request.request_id)
         self.stats.finished_requests += 1
 
+    def _truncate_request(self, request: Request) -> None:
+        """Finish a request whose cache can never grow again.
+
+        The request hit a hard per-sequence cap (the manager's maximum
+        sequence length, or a footprint larger than the whole cache); no
+        amount of freed capacity unblocks it, so it is cut short the way
+        serving systems truncate at the model's maximum length rather than
+        stalled forever.
+        """
+        request.truncate(self.clock)
+        self._finish_request(request)
+        self.stats.truncated_requests += 1
+
 
 class IterationLevelScheduler(BaseScheduler):
     """Orca-style iteration-level scheduling with paged KV management."""
@@ -152,6 +167,11 @@ class IterationLevelScheduler(BaseScheduler):
         if isinstance(self.kv_manager, PagedKVCacheManager):
             for request in list(self.running):
                 if self.kv_manager.is_evicted(request.request_id):
+                    continue
+                if not self.kv_manager.can_ever_grow(request.request_id, 1):
+                    # Larger than the whole cache could ever hold: truncate
+                    # before evicting victims that cannot help anyway.
+                    self._truncate_request(request)
                     continue
                 # Never evict a request that is already part of this
                 # iteration's batch: its grown pages must stay resident.
@@ -178,6 +198,8 @@ class IterationLevelScheduler(BaseScheduler):
                 if self.kv_manager.can_grow(request.request_id, 1):
                     self.kv_manager.grow(request.request_id, 1)
                     generation_requests.append(request)
+                elif not self.kv_manager.can_ever_grow(request.request_id, 1):
+                    self._truncate_request(request)
 
         # 2. Admit arrived pending requests while memory and batch slots allow.
         initiation_requests: List[Request] = []
@@ -267,13 +289,32 @@ class StaticBatchScheduler(BaseScheduler):
             self._batch_initiated = True
         else:
             initiation = []
-            generation = [r for r in self._current_batch if not r.is_finished]
-            for request in generation:
+            # Only requests whose KV cache can actually grow join the batch;
+            # the rest stall this iteration (they would otherwise generate
+            # tokens with no pages backing them) and retry once finishing
+            # requests release capacity.
+            generation = []
+            for request in list(self._current_batch):
+                if request.is_finished:
+                    continue
                 if self.kv_manager.can_grow(request.request_id, 1):
                     self.kv_manager.grow(request.request_id, 1)
+                    generation.append(request)
+                elif not self.kv_manager.can_ever_grow(request.request_id, 1):
+                    # A hard sequence cap (e.g. the max-alloc manager's
+                    # max_seq_len): waiting cannot unblock it, so cut the
+                    # request short instead of head-of-line blocking the batch.
+                    self._truncate_request(request)
+                    self._current_batch.remove(request)
+                else:
+                    self.stats.stalled_growths += 1
             if hasattr(self.kv_manager, "drain_events"):
                 memory_events.extend(self.kv_manager.drain_events())
             if not generation:
+                if not self._current_batch:
+                    # Truncation drained the whole batch: immediately try to
+                    # admit a fresh one rather than reporting an idle round.
+                    return self.next_iteration()
                 return None
 
         plan = format_batch(self._iteration_index, self.clock, initiation, generation, memory_events)

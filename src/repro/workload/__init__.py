@@ -1,13 +1,16 @@
 """Workload substrate: requests, synthetic datasets, arrival processes, trace I/O."""
 
 from .datasets import DATASET_PROFILES, DatasetProfile, LengthSampler, get_profile
-from .generator import BurstArrivalGenerator, PoissonArrivalGenerator, RequestTrace, generate_trace
+from .generator import (BurstArrivalGenerator, DiurnalArrivalGenerator,
+                        PoissonArrivalGenerator, PoissonBurstArrivalGenerator,
+                        RequestTrace, generate_trace)
 from .request import Request, RequestState
 from .trace_io import read_trace, write_trace
 
 __all__ = [
     "DATASET_PROFILES", "DatasetProfile", "LengthSampler", "get_profile",
-    "BurstArrivalGenerator", "PoissonArrivalGenerator", "RequestTrace", "generate_trace",
+    "BurstArrivalGenerator", "DiurnalArrivalGenerator", "PoissonArrivalGenerator",
+    "PoissonBurstArrivalGenerator", "RequestTrace", "generate_trace",
     "Request", "RequestState",
     "read_trace", "write_trace",
 ]

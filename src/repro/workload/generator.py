@@ -3,12 +3,16 @@
 The paper synthesizes request arrival patterns with a Poisson process over
 lengths sampled from ShareGPT (validation, Figure 6) and uses 256 Alpaca
 requests for the heterogeneous comparison (Figure 7).  This module provides
-both: a Poisson arrival generator and a burst/deterministic generator, each
-producing a list of :class:`~repro.workload.request.Request` objects.
+both, plus two burstier processes for the cluster serving experiments where
+routing policies only differentiate under uneven load: a Poisson-burst
+process (bursts arrive as a Poisson process, each carrying a geometric
+number of simultaneous requests) and a diurnal ramp (a non-homogeneous
+Poisson process whose rate follows a scaled-down day/night cycle).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -17,7 +21,8 @@ import numpy as np
 from .datasets import DatasetProfile, LengthSampler, get_profile
 from .request import Request
 
-__all__ = ["RequestTrace", "PoissonArrivalGenerator", "BurstArrivalGenerator", "generate_trace"]
+__all__ = ["RequestTrace", "PoissonArrivalGenerator", "BurstArrivalGenerator",
+           "PoissonBurstArrivalGenerator", "DiurnalArrivalGenerator", "generate_trace"]
 
 
 @dataclass
@@ -130,8 +135,117 @@ class BurstArrivalGenerator:
         )
 
 
+class PoissonBurstArrivalGenerator:
+    """Generates bursty traffic: Poisson burst epochs carrying request groups.
+
+    Burst epochs arrive as a Poisson process; each burst contains a
+    geometrically distributed number of requests (mean ``burst_size_mean``)
+    that arrive simultaneously at the burst epoch.  The epoch rate is set so
+    the *average* request rate equals ``rate_per_second``, which makes the
+    process a drop-in, heavier-tailed replacement for the plain Poisson
+    generator in load-balancing experiments.
+    """
+
+    def __init__(self, dataset: str = "sharegpt", rate_per_second: float = 1.0,
+                 burst_size_mean: float = 4.0, seed: int = 0) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if burst_size_mean < 1:
+            raise ValueError("burst_size_mean must be at least 1")
+        self.profile: DatasetProfile = get_profile(dataset)
+        self.rate_per_second = rate_per_second
+        self.burst_size_mean = burst_size_mean
+        self._rng = np.random.default_rng(seed)
+        self._lengths = LengthSampler(self.profile, seed=seed + 1)
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Produce a trace of ``num_requests`` requests in Poisson bursts."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        burst_rate = self.rate_per_second / self.burst_size_mean
+        requests: List[Request] = []
+        epoch = 0.0
+        while len(requests) < num_requests:
+            epoch += float(self._rng.exponential(1.0 / burst_rate))
+            burst = int(self._rng.geometric(1.0 / self.burst_size_mean))
+            burst = min(burst, num_requests - len(requests))
+            for _ in range(burst):
+                input_tokens, output_tokens = self._lengths.sample()
+                requests.append(Request(
+                    request_id=len(requests),
+                    input_tokens=input_tokens,
+                    output_tokens=output_tokens,
+                    arrival_time=epoch,
+                ))
+        return RequestTrace(
+            requests=requests,
+            dataset=self.profile.name,
+            arrival_process="poisson-burst",
+            rate_per_second=self.rate_per_second,
+        )
+
+
+class DiurnalArrivalGenerator:
+    """Non-homogeneous Poisson arrivals following a day/night rate cycle.
+
+    The instantaneous rate ramps sinusoidally between a trough and a peak
+    over ``period_seconds`` (a scaled-down "day"), starting at the trough:
+    ``rate(t) = mean * (1 + amplitude * -cos(2 pi t / period))`` with
+    ``0 <= amplitude < 1``.  Arrivals are drawn by thinning against the peak
+    rate, the standard construction for non-homogeneous Poisson processes.
+    """
+
+    def __init__(self, dataset: str = "sharegpt", rate_per_second: float = 1.0,
+                 amplitude: float = 0.8, period_seconds: float = 240.0,
+                 seed: int = 0) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if not 0 <= amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        self.profile: DatasetProfile = get_profile(dataset)
+        self.rate_per_second = rate_per_second
+        self.amplitude = amplitude
+        self.period_seconds = period_seconds
+        self._rng = np.random.default_rng(seed)
+        self._lengths = LengthSampler(self.profile, seed=seed + 1)
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at simulated time ``time``."""
+        phase = 2.0 * math.pi * time / self.period_seconds
+        return self.rate_per_second * (1.0 - self.amplitude * math.cos(phase))
+
+    def generate(self, num_requests: int) -> RequestTrace:
+        """Produce a trace of ``num_requests`` diurnally modulated arrivals."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        peak_rate = self.rate_per_second * (1.0 + self.amplitude)
+        requests: List[Request] = []
+        clock = 0.0
+        while len(requests) < num_requests:
+            clock += float(self._rng.exponential(1.0 / peak_rate))
+            if self._rng.uniform() * peak_rate > self.rate_at(clock):
+                continue  # thinning: reject candidates above the current rate
+            input_tokens, output_tokens = self._lengths.sample()
+            requests.append(Request(
+                request_id=len(requests),
+                input_tokens=input_tokens,
+                output_tokens=output_tokens,
+                arrival_time=clock,
+            ))
+        return RequestTrace(
+            requests=requests,
+            dataset=self.profile.name,
+            arrival_process="diurnal",
+            rate_per_second=self.rate_per_second,
+        )
+
+
 def generate_trace(dataset: str, num_requests: int, arrival: str = "poisson",
-                   rate_per_second: float = 1.0, seed: int = 0) -> RequestTrace:
+                   rate_per_second: float = 1.0, seed: int = 0,
+                   burst_size_mean: float = 4.0, amplitude: float = 0.8,
+                   period_seconds: float = 240.0) -> RequestTrace:
     """Convenience front-end used by the CLI and the benchmarks.
 
     Parameters
@@ -141,14 +255,25 @@ def generate_trace(dataset: str, num_requests: int, arrival: str = "poisson",
     num_requests:
         Number of requests to generate.
     arrival:
-        ``"poisson"`` or ``"burst"``.
+        ``"poisson"``, ``"burst"``, ``"poisson-burst"`` or ``"diurnal"``.
     rate_per_second:
-        Poisson arrival rate (ignored for burst arrivals).
+        Mean arrival rate (ignored for one-shot burst arrivals).
     seed:
         Random seed.
+    burst_size_mean:
+        Mean burst size for the ``"poisson-burst"`` process.
+    amplitude / period_seconds:
+        Shape of the ``"diurnal"`` rate cycle.
     """
     if arrival == "poisson":
         return PoissonArrivalGenerator(dataset, rate_per_second, seed).generate(num_requests)
     if arrival == "burst":
         return BurstArrivalGenerator(dataset, seed).generate(num_requests)
-    raise ValueError(f"unknown arrival process {arrival!r}; expected 'poisson' or 'burst'")
+    if arrival == "poisson-burst":
+        return PoissonBurstArrivalGenerator(
+            dataset, rate_per_second, burst_size_mean, seed).generate(num_requests)
+    if arrival == "diurnal":
+        return DiurnalArrivalGenerator(
+            dataset, rate_per_second, amplitude, period_seconds, seed).generate(num_requests)
+    raise ValueError(f"unknown arrival process {arrival!r}; expected 'poisson', 'burst', "
+                     "'poisson-burst' or 'diurnal'")

@@ -110,6 +110,15 @@ class Request:
         self.generated_tokens += 1
         self._maybe_finish(time)
 
+    def truncate(self, time: float) -> None:
+        """Finish the request early, before all output tokens were produced.
+
+        Serving systems do this when a sequence hits the model's maximum
+        length; the tokens generated so far stand as the response.
+        """
+        self.state = RequestState.FINISHED
+        self.finish_time = time
+
     def _maybe_finish(self, time: float) -> None:
         if self.generated_tokens >= self.output_tokens:
             self.state = RequestState.FINISHED

@@ -1,0 +1,231 @@
+"""Unit tests for the multi-replica cluster serving layer and SLO metrics."""
+
+import pytest
+
+from repro import ClusterConfig, ClusterSimulator, ServingSimConfig, generate_trace
+from repro.analysis import percentile, request_slo_metrics, slo_summary, time_between_tokens
+from repro.cli import main as cli_main
+from repro.cluster import (ClusterResult, LeastKVUtilizationRouter, LeastOutstandingRouter,
+                           RequestRouter, RoundRobinRouter, available_routers, build_router,
+                           register_router)
+from repro.workload import Request
+
+
+def replica_config(**overrides):
+    defaults = dict(model_name="gpt2", npu_num=1, npu_mem_gb=4.0)
+    defaults.update(overrides)
+    return ServingSimConfig(**defaults)
+
+
+class FakeReplicaView:
+    def __init__(self, outstanding, kv):
+        self.outstanding_requests = outstanding
+        self.kv_utilization = kv
+
+
+class TestRouters:
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        views = [FakeReplicaView(0, 0.0)] * 3
+        request = Request(0, 8, 2)
+        picks = [router.select(views, request) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_picks_emptiest(self):
+        router = LeastOutstandingRouter()
+        views = [FakeReplicaView(5, 0.1), FakeReplicaView(2, 0.9), FakeReplicaView(2, 0.5)]
+        assert router.select(views, Request(0, 8, 2)) == 1  # ties break to lowest index
+
+    def test_least_kv_picks_most_free_memory(self):
+        router = LeastKVUtilizationRouter()
+        views = [FakeReplicaView(1, 0.8), FakeReplicaView(9, 0.2), FakeReplicaView(1, 0.5)]
+        assert router.select(views, Request(0, 8, 2)) == 1
+
+    def test_build_router_dispatch(self):
+        assert isinstance(build_router("round-robin"), RoundRobinRouter)
+        assert isinstance(build_router("least-outstanding"), LeastOutstandingRouter)
+        assert isinstance(build_router("least-kv"), LeastKVUtilizationRouter)
+        with pytest.raises(ValueError):
+            build_router("random")
+
+    def test_register_custom_router(self):
+        class AlwaysFirstRouter(RequestRouter):
+            name = "always-first"
+
+            def select(self, replicas, request):
+                return 0
+
+        register_router("always-first", AlwaysFirstRouter)
+        try:
+            assert "always-first" in available_routers()
+            config = ClusterConfig(num_replicas=2, routing="always-first",
+                                   replica=replica_config())
+            trace = generate_trace("alpaca", 4, arrival="burst", seed=0)
+            result = ClusterSimulator(config).run(trace)
+            assert result.requests_per_replica() == [4, 0]
+        finally:
+            from repro.cluster.router import _ROUTER_FACTORIES
+            _ROUTER_FACTORIES.pop("always-first", None)
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_replicas=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(routing="")
+
+    def test_unknown_routing_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(ClusterConfig(routing="magic", replica=replica_config()))
+
+
+class TestClusterSimulator:
+    def _run(self, routing, num_requests=12, num_replicas=2, arrival="poisson-burst",
+             rate=6.0, seed=3):
+        config = ClusterConfig(num_replicas=num_replicas, routing=routing,
+                               replica=replica_config())
+        trace = generate_trace("alpaca", num_requests, arrival=arrival,
+                               rate_per_second=rate, seed=seed)
+        return ClusterSimulator(config).run(trace)
+
+    @pytest.mark.parametrize("routing", ["round-robin", "least-outstanding", "least-kv"])
+    def test_all_requests_finish_under_every_policy(self, routing):
+        result = self._run(routing)
+        assert len(result.finished_requests) == 12
+        assert result.num_replicas == 2
+        assert sum(result.requests_per_replica()) == 12
+        assert result.makespan > 0
+        assert result.generation_throughput > 0
+
+    def test_assignment_covers_every_request(self):
+        result = self._run("least-outstanding")
+        assert sorted(result.assignments) == sorted(r.request_id for r in result.requests)
+        assert set(result.assignments.values()) <= {0, 1}
+
+    def test_round_robin_balances_counts(self):
+        result = self._run("round-robin", num_requests=10)
+        assert result.requests_per_replica() == [5, 5]
+        assert result.assignment_imbalance() == pytest.approx(1.0)
+
+    def test_replica_results_are_independent(self):
+        result = self._run("round-robin")
+        for replica_result, count in zip(result.replica_results,
+                                         result.requests_per_replica()):
+            assert len(replica_result.requests) == count
+            assert all(r.is_finished for r in replica_result.requests)
+
+    def test_policies_differ_under_bursty_load(self):
+        # Round-robin alternates blindly while least-outstanding reacts to
+        # queue depth, so on a bursty trace the two must route at least some
+        # requests differently (they'd coincide only on perfectly smooth load).
+        rr = self._run("round-robin", num_requests=24, rate=12.0, seed=11)
+        lo = self._run("least-outstanding", num_requests=24, rate=12.0, seed=11)
+        assert rr.assignments != lo.assignments
+        assert len(lo.finished_requests) == 24
+
+    def test_slo_metrics_structure(self):
+        result = self._run("least-kv")
+        slos = result.slo_metrics()
+        assert set(slos) == {"ttft", "tbt", "e2e"}
+        for summary in slos.values():
+            assert summary.count > 0
+            assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        # E2E latency dominates TTFT by construction.
+        assert slos["e2e"].p50 >= slos["ttft"].p50
+
+    def test_summary_rows_render(self):
+        result = self._run("round-robin", num_requests=6)
+        rows = result.summary_rows()
+        labels = [row[0] for row in rows]
+        assert "TTFT p50/p95/p99 (s)" in labels
+        assert "E2E latency p50/p95/p99 (s)" in labels
+
+    def test_single_replica_matches_standalone_simulator(self):
+        from repro import LLMServingSim
+        trace = generate_trace("alpaca", 8, arrival="poisson", rate_per_second=2.0, seed=5)
+        cluster = ClusterSimulator(ClusterConfig(num_replicas=1, routing="round-robin",
+                                                 replica=replica_config()))
+        cluster_result = cluster.run(trace)
+        standalone = LLMServingSim(replica_config()).run(
+            generate_trace("alpaca", 8, arrival="poisson", rate_per_second=2.0, seed=5))
+        assert cluster_result.makespan == pytest.approx(standalone.makespan)
+        assert cluster_result.total_generated_tokens == standalone.total_generated_tokens
+
+    def test_max_iterations_cap(self):
+        config = ClusterConfig(num_replicas=2, routing="round-robin",
+                               replica=replica_config())
+        trace = generate_trace("alpaca", 8, arrival="burst", seed=1)
+        result = ClusterSimulator(config).run(trace, max_iterations_per_replica=2)
+        assert all(len(res.iterations) <= 2 for res in result.replica_results)
+
+    def test_empty_cluster_result_metrics(self):
+        result = ClusterResult(routing="round-robin")
+        assert result.makespan == 0.0
+        assert result.generation_throughput == 0.0
+        assert result.assignment_imbalance() == 1.0
+
+
+class TestSLOMetrics:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile(values, 120)
+
+    def test_slo_summary_statistics(self):
+        summary = slo_summary([0.1] * 99 + [10.0])
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(0.1)
+        assert summary.p99 < summary.maximum == 10.0
+
+    def test_slo_summary_empty(self):
+        summary = slo_summary([])
+        assert summary.count == 0
+        assert summary.p99 == 0.0
+
+    def test_time_between_tokens(self):
+        request = Request(0, 8, 5, arrival_time=0.0)
+        request.record_prompt_done(1.0)
+        for t in (1.5, 2.0, 2.5, 3.0):
+            request.record_generated_token(t)
+        assert time_between_tokens(request) == pytest.approx(0.5)
+
+    def test_time_between_tokens_undefined_for_single_token(self):
+        request = Request(0, 8, 1)
+        request.record_prompt_done(1.0)
+        assert time_between_tokens(request) is None
+
+    def test_request_slo_metrics_excludes_unfinished(self):
+        done = Request(0, 8, 2, arrival_time=0.0)
+        done.record_prompt_done(1.0)
+        done.record_generated_token(1.5)
+        waiting = Request(1, 8, 2, arrival_time=0.0)
+        slos = request_slo_metrics([done, waiting])
+        assert slos["ttft"].count == 1
+        assert slos["e2e"].count == 1
+        assert slos["e2e"].p50 == pytest.approx(1.5)
+
+
+class TestClusterCLI:
+    def test_cluster_subcommand_end_to_end(self, capsys):
+        exit_code = cli_main([
+            "cluster", "--replicas", "2", "--routing", "least-kv",
+            "--model-name", "gpt2", "--npu-num", "1", "--npu-mem", "4",
+            "--dataset", "alpaca", "--num-requests", "6", "--rate", "4.0",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "least-kv" in captured
+        assert "6/6" in captured
+        assert "TTFT p50/p95/p99" in captured
+
+    def test_flat_interface_still_works(self, capsys):
+        exit_code = cli_main(["--model-name", "gpt2", "--npu-num", "1", "--npu-mem", "4",
+                              "--dataset", "alpaca", "--num-requests", "2", "--rate", "5.0"])
+        assert exit_code == 0
+        assert "generation throughput" in capsys.readouterr().out

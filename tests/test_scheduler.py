@@ -104,6 +104,26 @@ class TestPagedKVCache:
         evicted = manager.ensure_capacity_for_growth(1, 16, protected=[1])
         assert evicted == [3]
 
+    def test_evict_last_admitted_respects_protection(self):
+        manager = paged_manager(capacity_tokens=64, page=16)
+        manager.admit(1, 15)
+        manager.admit(2, 15)
+        assert manager.evict_last_admitted(protected=[2]) == 1
+        assert manager.evict_last_admitted(protected=[2]) is None
+
+    def test_ensure_capacity_events_match_evicted_ids(self):
+        # ensure_capacity_for_growth routes through the same helper as
+        # evict_last_admitted, so every evicted id must have exactly one
+        # EVICT event (the seed duplicated the logic inline).
+        manager = paged_manager(capacity_tokens=48, page=16)
+        manager.admit(1, 15)
+        manager.admit(2, 15)
+        manager.admit(3, 15)
+        evicted = manager.ensure_capacity_for_growth(1, 32, protected=[1])
+        events = manager.drain_events()
+        assert [e.request_id for e in events] == evicted
+        assert all(e.event_type is KVMemoryEventType.EVICT for e in events)
+
     def test_utilization_bounds(self):
         manager = paged_manager(capacity_tokens=128)
         manager.admit(1, 60)
@@ -157,11 +177,35 @@ class TestMaxAllocKVCache:
 
     def test_grow_limited_by_max_seq(self):
         manager = MaxAllocKVCacheManager(MODEL, MODEL.kv_bytes_per_token() * 4096, max_seq_len=32)
-        manager.admit(1, 30)
-        assert manager.can_grow(1, 2)
-        assert not manager.can_grow(1, 3)
+        manager.admit(1, 30)  # stores 31: prompt + first generated token
+        assert manager.can_grow(1, 1)
+        assert not manager.can_grow(1, 2)
         with pytest.raises(MemoryError):
             manager.grow(1, 5)
+
+    def test_admit_accounts_prompt_plus_first_token(self):
+        manager = MaxAllocKVCacheManager(MODEL, MODEL.kv_bytes_per_token() * 4096, max_seq_len=32)
+        assert not manager.can_admit(32)  # 32 + 1 would exceed the reservation
+        assert manager.can_admit(31)
+        manager.admit(1, 31)
+        assert manager.tokens_of(1) == 32
+
+    def test_token_trajectories_match_paged_manager(self):
+        # Regression: the seed stored num_tokens in the max-alloc manager but
+        # num_tokens + 1 in the paged manager, skewing the ablation by one
+        # token per request.  Both must now report identical trajectories.
+        capacity = MODEL.kv_bytes_per_token() * 8192
+        paged = PagedKVCacheManager(MODEL, capacity, page_size_tokens=16)
+        maxalloc = MaxAllocKVCacheManager(MODEL, capacity, max_seq_len=2048)
+        trajectories = {"vllm": [], "max": []}
+        for name, manager in (("vllm", paged), ("max", maxalloc)):
+            manager.admit(7, 100)
+            trajectories[name].append(manager.tokens_of(7))
+            for _ in range(6):
+                manager.grow(7, 1)
+                trajectories[name].append(manager.tokens_of(7))
+        assert trajectories["vllm"] == trajectories["max"]
+        assert trajectories["vllm"][0] == 101
 
     def test_build_kv_manager_dispatch(self):
         capacity = MODEL.kv_bytes_per_token() * 1024
@@ -350,3 +394,88 @@ class TestStaticBatchScheduler:
             scheduler.complete_iteration(plan, latency=0.2)
             iterations += 1
         assert len(scheduler.finished) == 4
+
+    def test_stalls_requests_without_kv_pages(self):
+        # Regression: the seed placed requests whose can_grow check failed in
+        # the generation batch anyway, so they generated tokens with no KV
+        # pages backing them.  With a 3-page budget, two 15-token prompts fit
+        # (one page each) but only one can grow past the page boundary; the
+        # other must stall until capacity frees up.
+        manager = paged_manager(capacity_tokens=48, page=16)
+        scheduler = StaticBatchScheduler(manager)
+        first, second = Request(0, 15, 4), Request(1, 15, 4)
+        scheduler.submit([first, second])
+        plan1 = scheduler.next_iteration()
+        assert len(plan1.initiation_requests) == 2
+        scheduler.complete_iteration(plan1, latency=0.1)
+        plan2 = scheduler.next_iteration()
+        assert [r.request_id for r in plan2.generation_requests] == [0]
+        assert scheduler.stats.stalled_growths == 1
+        scheduler.complete_iteration(plan2, latency=0.1)
+        assert second.generated_tokens == 1  # stalled, not silently advanced
+
+    def test_max_alloc_truncates_instead_of_deadlocking(self):
+        # A request whose sequence hits the max-alloc manager's max_seq_len
+        # can never grow again; it must be truncated (finished with the
+        # tokens produced so far), not stalled forever — otherwise the batch
+        # never drains and every later arrival starves.
+        manager = MaxAllocKVCacheManager(MODEL, MODEL.kv_bytes_per_token() * 65536,
+                                         max_seq_len=32)
+        scheduler = StaticBatchScheduler(manager)
+        long_request = Request(0, 20, 30, arrival_time=0.0)   # 21 + 30 > 32
+        late_request = Request(1, 8, 2, arrival_time=0.5)
+        scheduler.submit([long_request, late_request])
+        iterations = 0
+        while scheduler.has_work and iterations < 100:
+            plan = scheduler.next_iteration()
+            if plan is None:
+                nxt = scheduler.next_arrival_time()
+                if nxt is None or scheduler.clock >= nxt:
+                    break
+                scheduler.clock = nxt
+                continue
+            scheduler.complete_iteration(plan, latency=0.1)
+            iterations += 1
+        assert long_request.is_finished
+        # 21 tokens at admission + 11 grows to the 32-token cap, one
+        # generated token per growth (the first arrives with the prompt).
+        assert long_request.generated_tokens == 12
+        assert late_request.is_finished  # no head-of-line starvation
+        assert scheduler.stats.truncated_requests == 1
+
+    def test_orca_truncates_at_max_seq_len_too(self):
+        manager = MaxAllocKVCacheManager(MODEL, MODEL.kv_bytes_per_token() * 65536,
+                                         max_seq_len=16)
+        scheduler = IterationLevelScheduler(manager)
+        request = Request(0, 10, 20, arrival_time=0.0)  # 11 + 20 > 16
+        scheduler.submit([request])
+        iterations = 0
+        while scheduler.has_work and iterations < 50:
+            plan = scheduler.next_iteration()
+            if plan is None:
+                break
+            scheduler.complete_iteration(plan, latency=0.1)
+            iterations += 1
+        assert request.is_finished
+        assert request.generated_tokens == 6  # 11 -> 16 tokens: 5 grows + first
+        assert scheduler.stats.truncated_requests == 1
+        assert not scheduler.has_work
+
+    def test_kv_accounting_consistent_under_pressure(self):
+        # Every request that is accounted for in the paged manager must hold
+        # exactly as many tokens as its request progress implies — the seed
+        # violated this whenever a generation batch outgrew the KV budget.
+        manager = paged_manager(capacity_tokens=48, page=16)
+        scheduler = StaticBatchScheduler(manager)
+        scheduler.submit([Request(0, 15, 6), Request(1, 15, 6)])
+        iterations = 0
+        while scheduler.has_work and iterations < 50:
+            plan = scheduler.next_iteration()
+            if plan is None:
+                break
+            scheduler.complete_iteration(plan, latency=0.05)
+            iterations += 1
+            for request in scheduler.running:
+                if not manager.is_evicted(request.request_id):
+                    assert manager.tokens_of(request.request_id) == request.context_length
+        assert len(scheduler.finished) == 2

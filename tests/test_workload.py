@@ -3,9 +3,10 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.workload import (DATASET_PROFILES, BurstArrivalGenerator, LengthSampler,
-                            PoissonArrivalGenerator, Request, RequestState, generate_trace,
-                            get_profile, read_trace, write_trace)
+from repro.workload import (DATASET_PROFILES, BurstArrivalGenerator, DiurnalArrivalGenerator,
+                            LengthSampler, PoissonArrivalGenerator,
+                            PoissonBurstArrivalGenerator, Request, RequestState,
+                            generate_trace, get_profile, read_trace, write_trace)
 
 
 class TestRequest:
@@ -116,8 +117,73 @@ class TestGenerators:
     def test_generate_trace_dispatch(self):
         assert generate_trace("alpaca", 5, arrival="burst").arrival_process == "burst"
         assert generate_trace("alpaca", 5, arrival="poisson").arrival_process == "poisson"
+        assert generate_trace("alpaca", 5, arrival="poisson-burst").arrival_process == "poisson-burst"
+        assert generate_trace("alpaca", 5, arrival="diurnal").arrival_process == "diurnal"
         with pytest.raises(ValueError):
             generate_trace("alpaca", 5, arrival="weibull")
+
+    def test_poisson_burst_groups_arrivals(self):
+        trace = PoissonBurstArrivalGenerator("alpaca", rate_per_second=4.0,
+                                             burst_size_mean=4.0, seed=2).generate(64)
+        assert len(trace) == 64
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        # Bursts share an epoch, so there are strictly fewer distinct arrival
+        # times than requests (a plain Poisson trace has 64 distinct times).
+        assert len(set(arrivals)) < 64
+
+    def test_poisson_burst_mean_rate_matches_plain_poisson(self):
+        bursty = PoissonBurstArrivalGenerator("alpaca", rate_per_second=8.0,
+                                              burst_size_mean=4.0, seed=5).generate(400)
+        smooth = PoissonArrivalGenerator("alpaca", rate_per_second=8.0, seed=5).generate(400)
+        # Same mean request rate -> comparable trace durations (loose bound;
+        # burstiness inflates the variance, not the mean).
+        assert bursty.duration == pytest.approx(smooth.duration, rel=0.5)
+
+    def test_poisson_burst_validation(self):
+        with pytest.raises(ValueError):
+            PoissonBurstArrivalGenerator("alpaca", rate_per_second=0.0)
+        with pytest.raises(ValueError):
+            PoissonBurstArrivalGenerator("alpaca", burst_size_mean=0.5)
+        with pytest.raises(ValueError):
+            PoissonBurstArrivalGenerator("alpaca").generate(0)
+
+    def test_diurnal_rate_cycles(self):
+        generator = DiurnalArrivalGenerator("alpaca", rate_per_second=2.0,
+                                            amplitude=0.8, period_seconds=100.0, seed=0)
+        trough = generator.rate_at(0.0)
+        peak = generator.rate_at(50.0)
+        assert trough == pytest.approx(2.0 * 0.2)
+        assert peak == pytest.approx(2.0 * 1.8)
+        assert generator.rate_at(100.0) == pytest.approx(trough)
+
+    def test_diurnal_arrivals_denser_at_peak(self):
+        generator = DiurnalArrivalGenerator("alpaca", rate_per_second=4.0,
+                                            amplitude=0.9, period_seconds=200.0, seed=3)
+        trace = generator.generate(300)
+        first_period = [r for r in trace if r.arrival_time < 200.0]
+        trough_half = sum(1 for r in first_period
+                          if r.arrival_time < 50.0 or r.arrival_time >= 150.0)
+        peak_half = sum(1 for r in first_period
+                        if 50.0 <= r.arrival_time < 150.0)
+        assert peak_half > trough_half
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivalGenerator("alpaca", rate_per_second=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivalGenerator("alpaca", amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivalGenerator("alpaca", period_seconds=0.0)
+
+    @given(count=st.integers(1, 40), seed=st.integers(0, 10),
+           arrival=st.sampled_from(["poisson-burst", "diurnal"]))
+    @settings(max_examples=15, deadline=None)
+    def test_bursty_generation_deterministic_per_seed(self, count, seed, arrival):
+        a = generate_trace("alpaca", count, arrival=arrival, seed=seed)
+        b = generate_trace("alpaca", count, arrival=arrival, seed=seed)
+        assert [(r.input_tokens, r.output_tokens, r.arrival_time) for r in a] == \
+            [(r.input_tokens, r.output_tokens, r.arrival_time) for r in b]
 
     def test_request_ids_unique(self):
         trace = generate_trace("sharegpt", 64, seed=9)
