@@ -1,12 +1,15 @@
-"""Cluster serving: bursty traffic across 4 replicas under three routers.
+"""Cluster serving: bursty traffic across 4 replicas under every router.
 
 Serves one Poisson-burst Alpaca trace with a 4-replica cluster (each
-replica a GPT3-7B system on 4 NPUs) once per routing policy, and compares
-the per-replica load split, cluster throughput and the SLO percentiles
-(time-to-first-token, time-between-tokens, end-to-end latency) the policies
-trade off against each other.  Note how the memory-pressure-based least-kv
-policy skews the split on short requests — KV occupancy lags queue depth,
-which is exactly the difference the cluster layer lets you study.
+replica a GPT3-7B system on 4 NPUs) once per registered routing policy, and
+compares the per-replica load split, cluster throughput and the SLO
+percentiles (time-to-first-token, time-between-tokens, end-to-end latency)
+the policies trade off against each other.  Note how the
+memory-pressure-based least-kv policy skews the split on short requests —
+KV occupancy lags queue depth, which is exactly the difference the cluster
+layer lets you study.  On this homogeneous fleet the capability-aware
+policies (slo-ttft, weighted-capacity) behave like load/uniform balancers;
+see heterogeneous_autoscaling.py for the mixed fleet where they pay off.
 
 Run with::
 

@@ -19,8 +19,9 @@ Quickstart::
     print(result.generation_throughput, "tokens/s")
 """
 
-from .cluster import ClusterResult, ClusterSimulator, available_routers, build_router
-from .core.config import ClusterConfig, ServingSimConfig
+from .cluster import (Autoscaler, ClusterResult, ClusterSimulator, ScalingEvent,
+                      available_routers, build_router)
+from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
 from .core.results import IterationRecord, ServingResult, ThroughputPoint
 from .core.simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
 from .core.simulator import LLMServingSim
@@ -33,7 +34,8 @@ __version__ = "0.2.0"
 
 __all__ = [
     "LLMServingSim", "ServingSimConfig", "ServingResult", "IterationRecord", "ThroughputPoint",
-    "ClusterSimulator", "ClusterConfig", "ClusterResult", "available_routers", "build_router",
+    "ClusterSimulator", "ClusterConfig", "ClusterResult", "ReplicaSpec",
+    "AutoscaleConfig", "Autoscaler", "ScalingEvent", "available_routers", "build_router",
     "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
     "ParallelismStrategy",
     "ModelConfig", "available_models", "get_model", "register_model",

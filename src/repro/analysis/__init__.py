@@ -1,13 +1,15 @@
 """Analysis helpers: error metrics and text reporting for tables and figures."""
 
-from .metrics import (SLOSummary, align_series, geometric_mean_error,
+from .metrics import (SLOAttainment, SLOSummary, align_series, geometric_mean_error,
                       mean_absolute_percentage_error, percentile, relative_error,
-                      request_slo_metrics, series_error, slo_summary, time_between_tokens)
+                      request_slo_metrics, series_error, slo_attainment, slo_summary,
+                      time_between_tokens)
 from .reporting import format_series, format_table, print_series, print_table
 
 __all__ = [
     "align_series", "geometric_mean_error", "mean_absolute_percentage_error",
     "relative_error", "series_error",
     "SLOSummary", "percentile", "slo_summary", "time_between_tokens", "request_slo_metrics",
+    "SLOAttainment", "slo_attainment",
     "format_series", "format_table", "print_series", "print_table",
 ]

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..workload.request import Request
 
 __all__ = ["relative_error", "mean_absolute_percentage_error", "geometric_mean_error",
            "align_series", "series_error",
            "percentile", "SLOSummary", "slo_summary", "time_between_tokens",
-           "request_slo_metrics"]
+           "request_slo_metrics", "SLOAttainment", "slo_attainment"]
 
 
 def relative_error(measured: float, reference: float) -> float:
@@ -182,3 +182,61 @@ def request_slo_metrics(requests: Iterable[Request]) -> Dict[str, SLOSummary]:
         if request.end_to_end_latency is not None:
             e2es.append(request.end_to_end_latency)
     return {"ttft": slo_summary(ttfts), "tbt": slo_summary(tbts), "e2e": slo_summary(e2es)}
+
+
+@dataclass(frozen=True)
+class SLOAttainment:
+    """Fraction of requests that met their latency SLO targets.
+
+    ``ttft_met`` / ``e2e_met`` are ``None`` when no target was set for that
+    metric.  Requests that never reached the relevant milestone (still
+    pending, never produced a first token) count as *misses*, not as
+    excluded — an unserved request is an SLO violation, which is exactly
+    what under-provisioned autoscaling bounds should show.
+    """
+
+    total: int
+    ttft_met: Optional[int] = None
+    e2e_met: Optional[int] = None
+
+    @property
+    def ttft_rate(self) -> Optional[float]:
+        """Fraction of requests meeting the TTFT target (None if untargeted)."""
+        if self.ttft_met is None:
+            return None
+        return self.ttft_met / self.total if self.total else 1.0
+
+    @property
+    def e2e_rate(self) -> Optional[float]:
+        """Fraction of requests meeting the E2E target (None if untargeted)."""
+        if self.e2e_met is None:
+            return None
+        return self.e2e_met / self.total if self.total else 1.0
+
+
+def slo_attainment(requests: Iterable[Request], ttft_target: Optional[float] = None,
+                   e2e_target: Optional[float] = None) -> SLOAttainment:
+    """Count how many requests met the given latency targets.
+
+    Parameters
+    ----------
+    requests:
+        The request population (served and unserved alike).
+    ttft_target / e2e_target:
+        SLO targets in seconds; ``None`` leaves that metric unassessed.
+    """
+    requests = list(requests)
+    ttft_met = e2e_met = None
+    if ttft_target is not None:
+        if ttft_target <= 0:
+            raise ValueError("ttft_target must be positive")
+        ttft_met = sum(1 for r in requests
+                       if r.time_to_first_token is not None
+                       and r.time_to_first_token <= ttft_target)
+    if e2e_target is not None:
+        if e2e_target <= 0:
+            raise ValueError("e2e_target must be positive")
+        e2e_met = sum(1 for r in requests
+                      if r.end_to_end_latency is not None
+                      and r.end_to_end_latency <= e2e_target)
+    return SLOAttainment(total=len(requests), ttft_met=ttft_met, e2e_met=e2e_met)

@@ -13,23 +13,35 @@ behind a routing policy instead of a single system::
 
     llmservingsim cluster --replicas 4 --routing least-outstanding \
         --model-name gpt3-7b --npu-num 4 --num-requests 64 --arrival poisson-burst
+
+Heterogeneous fleets are described with repeatable ``--replica-spec`` options
+(each a comma-separated ``field=value`` list overriding the base serving
+arguments, plus ``count=`` and ``name=``), and ``--autoscale min:max`` bounds
+an autoscaler over the fleet::
+
+    llmservingsim cluster --routing slo-ttft \
+        --replica-spec count=2,npu_num=1,name=small \
+        --replica-spec count=2,npu_num=4,name=large \
+        --autoscale 2:4 --arrival diurnal --num-requests 64 --rate 8
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .cluster import ClusterSimulator, available_routers
-from .core.config import ClusterConfig, ServingSimConfig
+from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
 from .core.simulator import LLMServingSim
 from .graph.parallelism import ParallelismStrategy
 from .workload.generator import generate_trace
 from .workload.trace_io import read_trace
 
-__all__ = ["build_parser", "build_cluster_parser", "main", "cluster_main"]
+__all__ = ["build_parser", "build_cluster_parser", "main", "cluster_main",
+           "parse_replica_spec", "parse_autoscale_bounds"]
 
 ARRIVAL_CHOICES = ["poisson", "burst", "poisson-burst", "diurnal"]
 
@@ -75,23 +87,120 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_replica_spec(text: str, base: ServingSimConfig) -> ReplicaSpec:
+    """Parse one ``--replica-spec`` value into a :class:`ReplicaSpec`.
+
+    ``text`` is a comma-separated ``field=value`` list.  ``count=`` and
+    ``name=`` shape the spec itself; every other key must be a scalar
+    :class:`ServingSimConfig` field (e.g. ``npu_num``, ``model_name``,
+    ``pim_type``) and overrides the base configuration built from the flat
+    serving arguments.  Dashes in keys are accepted (``npu-num=4``).
+    """
+    count, name = 1, ""
+    overrides = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"replica-spec entry {part!r} is not of the form field=value")
+        key = key.strip().replace("-", "_")
+        value = value.strip()
+        if key == "count":
+            count = _convert_spec_value("count", value, int)
+        elif key == "name":
+            name = value
+        else:
+            overrides[key] = value
+
+    kwargs = {f.name: getattr(base, f.name) for f in dataclasses.fields(ServingSimConfig)}
+    for key, raw in overrides.items():
+        if key not in kwargs:
+            raise argparse.ArgumentTypeError(
+                f"unknown ServingSimConfig field {key!r} in --replica-spec")
+        default = kwargs[key]
+        if isinstance(default, bool):
+            kwargs[key] = raw.lower() in ("1", "true", "yes", "on")
+        elif isinstance(default, int):
+            kwargs[key] = _convert_spec_value(key, raw, int)
+        elif isinstance(default, float):
+            kwargs[key] = _convert_spec_value(key, raw, float)
+        elif isinstance(default, str) or key in ("parallel", "graph_granularity"):
+            kwargs[key] = raw  # enums convert themselves in __post_init__
+        elif default is None:  # kv_capacity_bytes
+            kwargs[key] = _convert_spec_value(key, raw, int)
+        else:
+            raise argparse.ArgumentTypeError(
+                f"field {key!r} is not settable from --replica-spec")
+    try:
+        return ReplicaSpec(config=ServingSimConfig(**kwargs), count=count, name=name)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid --replica-spec: {exc}") from None
+
+
+def _convert_spec_value(key: str, raw: str, converter):
+    try:
+        return converter(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"replica-spec field {key!r}: {raw!r} is not a valid "
+            f"{converter.__name__}") from None
+
+
+def parse_autoscale_bounds(text: str) -> Tuple[int, int]:
+    """Parse ``--autoscale min:max`` into an ``(min, max)`` tuple."""
+    lower, sep, upper = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return int(lower), int(upper)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"autoscale bounds {text!r} are not of the form min:max") from None
+
+
 def build_cluster_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``cluster`` subcommand."""
     parser = argparse.ArgumentParser(
         prog="llmservingsim cluster",
         description="Serve a request trace across a multi-replica cluster")
-    parser.add_argument("--replicas", type=int, default=2, help="number of serving replicas")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="number of serving replicas (ignored when "
+                             "--replica-spec is given)")
     parser.add_argument("--routing", choices=available_routers(), default="round-robin",
                         help="request routing policy")
+    parser.add_argument("--replica-spec", action="append", default=[],
+                        metavar="FIELD=VALUE[,...]",
+                        help="add a replica class: comma-separated ServingSimConfig "
+                             "overrides plus count= and name= (repeatable; e.g. "
+                             "count=2,npu_num=4,name=large)")
+    parser.add_argument("--autoscale", type=parse_autoscale_bounds, default=None,
+                        metavar="MIN:MAX",
+                        help="autoscale the fleet between MIN and MAX active replicas")
+    parser.add_argument("--autoscale-window", type=float, default=30.0,
+                        help="sliding arrival-rate window in seconds")
+    parser.add_argument("--autoscale-target-rate", type=float, default=4.0,
+                        help="arrival rate (req/s) one replica is provisioned for")
+    parser.add_argument("--autoscale-warmup", type=float, default=5.0,
+                        help="warm-up delay before an activated replica takes routes")
+    parser.add_argument("--autoscale-cooldown", type=float, default=10.0,
+                        help="minimum seconds between scaling decisions")
+    parser.add_argument("--ttft-slo", type=float, default=None,
+                        help="TTFT SLO target in seconds (reports per-class attainment)")
+    parser.add_argument("--e2e-slo", type=float, default=None,
+                        help="end-to-end latency SLO target in seconds")
     _add_serving_args(parser, arrival_default="poisson-burst")
     return parser
 
 
 def cluster_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``cluster`` subcommand; returns a process exit code."""
-    args = build_cluster_parser().parse_args(argv)
+    parser = build_cluster_parser()
+    args = parser.parse_args(argv)
 
-    replica_config = ServingSimConfig(
+    base_config = ServingSimConfig(
         model_name=args.model_name,
         npu_num=args.npu_num,
         npu_group=args.npu_group,
@@ -103,8 +212,27 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         kv_manage=args.kv_manage,
         seed=args.seed,
     )
+    try:
+        specs = [parse_replica_spec(text, base_config) for text in args.replica_spec]
+    except argparse.ArgumentTypeError as exc:
+        parser.error(str(exc))  # clean usage error instead of a traceback
+
+    autoscale = None
+    if args.autoscale is not None:
+        lower, upper = args.autoscale
+        autoscale = AutoscaleConfig(
+            min_replicas=lower,
+            max_replicas=upper,
+            window_seconds=args.autoscale_window,
+            target_rate_per_replica=args.autoscale_target_rate,
+            warmup_seconds=args.autoscale_warmup,
+            cooldown_seconds=args.autoscale_cooldown,
+        )
+
     config = ClusterConfig(num_replicas=args.replicas, routing=args.routing,
-                           replica=replica_config)
+                           replica=base_config, replicas=specs or None,
+                           autoscale=autoscale, ttft_slo=args.ttft_slo,
+                           e2e_slo=args.e2e_slo)
 
     if args.trace_file:
         trace = read_trace(args.trace_file, dataset=args.dataset)
@@ -116,11 +244,18 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
     result = ClusterSimulator(config).run(
         trace, max_iterations_per_replica=args.max_iterations)
 
-    print(f"model                 : {replica_config.model_name}")
-    print(f"cluster               : {config.num_replicas} replica(s), "
+    fleet = ", ".join(f"{spec.count}x {spec.name}" for spec in config.replica_specs())
+    print(f"model                 : {base_config.model_name}")
+    print(f"cluster               : {config.num_replicas} replica(s) [{fleet}], "
           f"{result.routing} routing")
     for row in result.summary_rows():
         print(f"{row[0]:<22}: {row[1]}")
+    if result.scaling_timeline:
+        print("scaling timeline      :")
+        for event in result.scaling_timeline:
+            print(f"  t={event.time:8.2f}s {event.action:<10} replica "
+                  f"{event.replica_id} [{event.replica_class}] -> "
+                  f"{event.provisioned_after} provisioned")
     return 0
 
 

@@ -1,0 +1,161 @@
+"""Diurnal autoscaling: replica count tracking the arrival-rate curve.
+
+Production serving fleets are not provisioned statically — replica count
+follows the load curve, trading idle capacity against SLO violations during
+ramp-up.  The :class:`Autoscaler` reproduces that control loop inside the
+cluster co-simulation: it watches a sliding window of request arrivals and
+keeps ``ceil(window_rate / target_rate_per_replica)`` replicas provisioned
+within ``[min_replicas, max_replicas]``.
+
+Scaling is not free, which is the interesting part of the model:
+
+* a **cold** replica activated by a scale-up decision spends
+  ``warmup_seconds`` in the ``WARMING`` state, during which the router may
+  not send it requests (model load and cache fill in a real deployment);
+* a replica removed by a scale-down decision enters ``DRAINING`` — it stops
+  accepting new routes but keeps simulating until its outstanding requests
+  finish, then parks as ``STOPPED``;
+* a ``DRAINING`` replica re-activated by a later scale-up skips the warm-up
+  (its engine state is still resident).
+
+Every decision is recorded as a :class:`ScalingEvent`, so a run over the
+diurnal arrival generator yields the scaling timeline that
+:class:`~repro.cluster.results.ClusterResult` reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence
+
+from ..core.config import AutoscaleConfig
+
+__all__ = ["ReplicaLifecycle", "ScalingEvent", "Autoscaler"]
+
+
+class ReplicaLifecycle(enum.Enum):
+    """Autoscaling lifecycle of one replica."""
+
+    ACTIVE = "active"      # routable and simulating
+    WARMING = "warming"    # activated, not routable until the warm-up elapses
+    DRAINING = "draining"  # not routable, finishing its outstanding requests
+    STOPPED = "stopped"    # not routable, no outstanding work
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaling decision applied to one replica."""
+
+    time: float
+    action: str          # "scale-up" or "scale-down"
+    replica_id: int
+    replica_class: str
+    provisioned_after: int  # ACTIVE + WARMING replicas once the action applied
+
+
+class Autoscaler:
+    """Sliding-window arrival-rate autoscaler over a fixed replica fleet.
+
+    The fleet itself is allocated up front (``ClusterConfig`` still sizes the
+    replica list); the autoscaler only flips replicas between active and
+    parked states, which is how real deployments scale within a reserved
+    node pool.  ``min_replicas`` replicas start ``ACTIVE``; the rest start
+    ``STOPPED`` and are woken as load rises.
+
+    Parameters
+    ----------
+    config:
+        The scaling policy (bounds, window, warm-up, cooldown).
+    replicas:
+        The cluster's replica list; entries must expose the lifecycle
+        interface of :class:`~repro.cluster.simulator.Replica`
+        (``lifecycle``, ``activate``, ``deactivate``, ``outstanding_requests``).
+    """
+
+    def __init__(self, config: AutoscaleConfig, replicas: Sequence) -> None:
+        if not replicas:
+            raise ValueError("autoscaler needs at least one replica")
+        self.config = config
+        self.replicas = list(replicas)
+        self.min_replicas = config.min_replicas
+        self.max_replicas = config.max_replicas or len(self.replicas)
+        if not self.min_replicas <= self.max_replicas <= len(self.replicas):
+            raise ValueError("autoscaling bounds must satisfy "
+                             "min <= max <= fleet size")
+        self.events: List[ScalingEvent] = []
+        self._arrivals: Deque[float] = deque()
+        self._last_decision = -math.inf
+        for index, replica in enumerate(self.replicas):
+            replica.lifecycle = (ReplicaLifecycle.ACTIVE if index < self.min_replicas
+                                 else ReplicaLifecycle.STOPPED)
+
+    # -- observation -----------------------------------------------------------
+
+    def provisioned(self) -> List:
+        """Replicas currently serving or warming (the scaler's control set)."""
+        return [r for r in self.replicas
+                if r.lifecycle in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.WARMING)]
+
+    def window_rate(self, now: float) -> float:
+        """Arrival rate (requests/s) over the trailing window ending at ``now``."""
+        horizon = now - self.config.window_seconds
+        while self._arrivals and self._arrivals[0] < horizon:
+            self._arrivals.popleft()
+        return len(self._arrivals) / self.config.window_seconds
+
+    def desired_replicas(self, rate: float) -> int:
+        """Replica count the policy wants for an arrival rate."""
+        wanted = math.ceil(rate / self.config.target_rate_per_replica)
+        return max(self.min_replicas, min(self.max_replicas, wanted))
+
+    # -- control loop ----------------------------------------------------------
+
+    def observe_arrival(self, now: float) -> None:
+        """Record one request arrival and apply a scaling decision if due.
+
+        Called by :meth:`ClusterSimulator.run` once per arrival, after the
+        replicas have been caught up to ``now`` and their lifecycles
+        refreshed, and before the request is routed — so a scale-up triggered
+        by this arrival still pays the warm-up before helping.
+        """
+        self._arrivals.append(now)
+        if now - self._last_decision < self.config.cooldown_seconds:
+            return
+        desired = self.desired_replicas(self.window_rate(now))
+        provisioned = self.provisioned()
+        if desired > len(provisioned):
+            self._scale_up(now, desired - len(provisioned))
+        elif desired < len(provisioned):
+            self._scale_down(now, len(provisioned) - desired)
+
+    def _scale_up(self, now: float, count: int) -> None:
+        # Draining replicas are still warm, so reactivate them before waking
+        # cold (stopped) ones; within a tier, lowest replica id first.
+        draining = [r for r in self.replicas if r.lifecycle is ReplicaLifecycle.DRAINING]
+        stopped = [r for r in self.replicas if r.lifecycle is ReplicaLifecycle.STOPPED]
+        for replica in (draining + stopped)[:count]:
+            replica.activate(now, warmup_seconds=self.config.warmup_seconds)
+            self.events.append(ScalingEvent(
+                time=now, action="scale-up", replica_id=replica.replica_id,
+                replica_class=replica.class_name,
+                provisioned_after=len(self.provisioned())))
+        self._last_decision = now
+
+    def _scale_down(self, now: float, count: int) -> None:
+        # Cancel warming replicas first (they have served nothing yet), then
+        # drain the active replica with the fewest outstanding requests.
+        removable = sorted(
+            self.provisioned(),
+            key=lambda r: (r.lifecycle is not ReplicaLifecycle.WARMING,
+                           r.outstanding_requests, -r.replica_id))
+        count = min(count, len(self.provisioned()) - self.min_replicas)
+        for replica in removable[:count]:
+            replica.deactivate()
+            self.events.append(ScalingEvent(
+                time=now, action="scale-down", replica_id=replica.replica_id,
+                replica_class=replica.class_name,
+                provisioned_after=len(self.provisioned())))
+        self._last_decision = now

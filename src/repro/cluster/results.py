@@ -12,11 +12,12 @@ end-to-end latency) that production serving deployments are judged by.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..analysis.metrics import SLOSummary, request_slo_metrics
+from ..analysis.metrics import SLOAttainment, SLOSummary, request_slo_metrics, slo_attainment
 from ..core.results import ServingResult
 from ..workload.request import Request
+from .autoscaler import ScalingEvent
 
 __all__ = ["ClusterResult"]
 
@@ -33,11 +34,29 @@ class ClusterResult:
         One :class:`ServingResult` per replica, in replica-index order.
     assignments:
         Mapping of request id to the replica index it was routed to.
+    replica_classes:
+        Replica-class label per replica index (all ``"default"`` for a
+        homogeneous single-template fleet); drives the per-class SLO views.
+    scaling_timeline:
+        Autoscaling decisions in time order; empty when the run had no
+        autoscaler.
+    initial_provisioned:
+        Replicas provisioned before the first scaling decision (the
+        autoscaler's ``min_replicas``); ``None`` for runs without an
+        autoscaler, where the whole fleet was active throughout.
+    ttft_slo_target / e2e_slo_target:
+        The SLO targets (seconds) the run was judged against, when set;
+        :meth:`summary_rows` reports per-class attainment for them.
     """
 
     routing: str
     replica_results: List[ServingResult] = field(default_factory=list)
     assignments: Dict[int, int] = field(default_factory=dict)
+    replica_classes: List[str] = field(default_factory=list)
+    scaling_timeline: List[ScalingEvent] = field(default_factory=list)
+    initial_provisioned: Optional[int] = None
+    ttft_slo_target: Optional[float] = None
+    e2e_slo_target: Optional[float] = None
 
     # -- request-level views ---------------------------------------------------
 
@@ -117,6 +136,74 @@ class ClusterResult:
         """
         return request_slo_metrics(self.requests)
 
+    # -- per-replica-class views -----------------------------------------------
+
+    def class_of_replica(self, index: int) -> str:
+        """Class label of one replica (``"default"`` for unlabelled results)."""
+        if index < len(self.replica_classes):
+            return self.replica_classes[index]
+        return "default"
+
+    def requests_per_class(self) -> Dict[str, List[Request]]:
+        """Requests grouped by the replica class that served them."""
+        grouped: Dict[str, List[Request]] = {}
+        for index, result in enumerate(self.replica_results):
+            grouped.setdefault(self.class_of_replica(index), []).extend(result.requests)
+        return grouped
+
+    def per_class_slo_metrics(self) -> Dict[str, Dict[str, SLOSummary]]:
+        """The :meth:`slo_metrics` breakdown per replica class."""
+        return {name: request_slo_metrics(requests)
+                for name, requests in self.requests_per_class().items()}
+
+    def slo_attainment(self, ttft_target: Optional[float] = None,
+                       e2e_target: Optional[float] = None) -> Dict[str, SLOAttainment]:
+        """Fraction of requests meeting the SLO targets, per class + cluster-wide.
+
+        Targets default to the run's configured ``ttft_slo`` / ``e2e_slo``;
+        pass explicit values to evaluate other candidate SLOs after the fact.
+        Keys are the replica-class names plus ``"cluster"`` for the whole
+        request population.
+        """
+        ttft_target = ttft_target if ttft_target is not None else self.ttft_slo_target
+        e2e_target = e2e_target if e2e_target is not None else self.e2e_slo_target
+        attainment = {name: slo_attainment(requests, ttft_target, e2e_target)
+                      for name, requests in self.requests_per_class().items()}
+        attainment["cluster"] = slo_attainment(self.requests, ttft_target, e2e_target)
+        return attainment
+
+    # -- autoscaling views -----------------------------------------------------
+
+    def _initial_provisioned(self) -> int:
+        """Provisioned count before the first event (whole fleet if no scaler)."""
+        if self.initial_provisioned is not None:
+            return self.initial_provisioned
+        if not self.scaling_timeline:
+            return self.num_replicas
+        # Older results without the field: each event changes the count by
+        # exactly one, so reconstruct backwards from the first event.
+        first = self.scaling_timeline[0]
+        return first.provisioned_after + (1 if first.action == "scale-down" else -1)
+
+    def peak_provisioned_replicas(self) -> int:
+        """Largest provisioned-replica count the run reached."""
+        counts = [self._initial_provisioned()]
+        counts.extend(event.provisioned_after for event in self.scaling_timeline)
+        return max(counts)
+
+    def provisioned_series(self, initial: Optional[int] = None) -> List[tuple]:
+        """``(time, provisioned_count)`` steps of the scaling timeline.
+
+        ``initial`` overrides the provisioned count before the first event;
+        it defaults to the recorded ``initial_provisioned``.
+        """
+        if not self.scaling_timeline:
+            return []
+        series = [(0.0, initial if initial is not None else self._initial_provisioned())]
+        series.extend((event.time, event.provisioned_after)
+                      for event in self.scaling_timeline)
+        return series
+
     def summary_rows(self) -> List[List[str]]:
         """Rows for :func:`repro.analysis.reporting.format_table` summaries."""
         slos = self.slo_metrics()
@@ -133,4 +220,22 @@ class ClusterResult:
             summary = slos[key]
             rows.append([f"{label} p50/p95/p99 (s)",
                          f"{summary.p50:.3f} / {summary.p95:.3f} / {summary.p99:.3f}"])
+        if len(set(self.replica_classes)) > 1:
+            counts: Dict[str, int] = {}
+            for name in self.replica_classes:
+                counts[name] = counts.get(name, 0) + 1
+            rows.append(["replica classes",
+                         ", ".join(f"{n}x {name}" for name, n in counts.items())])
+        if self.scaling_timeline:
+            rows.append(["scaling events",
+                         f"{len(self.scaling_timeline)} "
+                         f"(peak {self.peak_provisioned_replicas()} provisioned)"])
+        if self.ttft_slo_target is not None or self.e2e_slo_target is not None:
+            for name, attained in self.slo_attainment().items():
+                parts = []
+                if attained.ttft_rate is not None:
+                    parts.append(f"TTFT {attained.ttft_rate:.1%}")
+                if attained.e2e_rate is not None:
+                    parts.append(f"E2E {attained.e2e_rate:.1%}")
+                rows.append([f"SLO attainment [{name}]", ", ".join(parts)])
         return rows

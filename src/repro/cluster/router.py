@@ -2,29 +2,89 @@
 
 The router is the cluster's load balancer: every arriving request is handed
 to exactly one serving replica.  Policies only see the lightweight
-:class:`ReplicaView` protocol (outstanding request count, KV-cache
-utilization, assignment counter), so custom policies can be registered
-without importing the simulator stack.
+:class:`ReplicaView` protocol (queue depth, KV-cache state, capability
+signals, lifecycle), so custom policies can be registered without importing
+the simulator stack.
 
 Built-in policies:
 
-* ``"round-robin"`` — cycle through replicas in order, ignoring load.
+* ``"round-robin"`` — cycle through the *active* replicas in index order,
+  ignoring load.
 * ``"least-outstanding"`` — pick the replica with the fewest queued +
   running requests (the classic least-outstanding-requests balancer).
 * ``"least-kv"`` — pick the replica with the lowest KV-cache utilization,
   which tracks *memory* pressure rather than request count and therefore
   behaves differently when request lengths are skewed.
+* ``"slo-ttft"`` — pick the replica with the lowest *predicted*
+  time-to-first-token, estimated as queue depth times the replica's measured
+  per-iteration latency; the latency-aware policy heterogeneous fleets need.
+* ``"weighted-capacity"`` — deterministic weighted round-robin proportional
+  to each replica's roofline throughput estimate, so a replica with four
+  times the compute absorbs four times the requests.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Protocol, Sequence, runtime_checkable
 
 from ..workload.request import Request
 
-__all__ = ["RequestRouter", "RoundRobinRouter", "LeastOutstandingRouter",
-           "LeastKVUtilizationRouter", "available_routers", "build_router",
-           "register_router"]
+__all__ = ["ReplicaView", "RequestRouter", "RoundRobinRouter", "LeastOutstandingRouter",
+           "LeastKVUtilizationRouter", "SLOTTFTRouter", "WeightedCapacityRouter",
+           "routable_indices", "available_routers", "build_router", "register_router"]
+
+
+@runtime_checkable
+class ReplicaView(Protocol):
+    """What a routing policy may observe about one replica.
+
+    :class:`~repro.cluster.simulator.Replica` implements the full protocol;
+    test doubles only need the attributes their policy touches (routers fall
+    back to permissive defaults via ``getattr`` for the rest).
+
+    Load signals
+        ``outstanding_requests`` (queued + running), ``kv_utilization``
+        (fraction of the KV budget in use) and ``mean_iteration_latency``
+        (measured seconds per serving iteration, 0.0 before the first one).
+
+    Capability signals (static per replica, heterogeneity-aware)
+        ``device_throughput_tflops`` — roofline-attainable generation-phase
+        throughput summed over the replica's devices;
+        ``estimated_iteration_latency`` — roofline latency prior (seconds
+        per iteration) used before any iteration has been measured;
+        ``kv_budget_bytes`` — the replica's total KV-cache capacity;
+        ``engine_kind`` — ``"npu"`` or ``"npu+pim"``.
+
+    Lifecycle
+        ``is_routable`` — False while the replica is warming, draining or
+        stopped under autoscaling; routers must not select such replicas.
+    """
+
+    replica_id: int
+    outstanding_requests: int
+    kv_utilization: float
+    mean_iteration_latency: float
+    device_throughput_tflops: float
+    estimated_iteration_latency: float
+    kv_budget_bytes: int
+    engine_kind: str
+    is_routable: bool
+
+
+def routable_indices(replicas: Sequence["ReplicaView"]) -> List[int]:
+    """Indices a router may choose from: the active replicas.
+
+    Views without lifecycle state (plain test doubles, pre-autoscaling
+    callers) count as routable.  Raises if nothing is routable — the
+    simulator rejects routes to non-routable replicas anyway, so a silent
+    fallback could only mask a lifecycle bug (the built-in autoscaler
+    guarantees at least one ``ACTIVE`` replica at all times).
+    """
+    active = [i for i, r in enumerate(replicas) if getattr(r, "is_routable", True)]
+    if not active:
+        raise ValueError("no routable replica: every replica is warming, "
+                         "draining or stopped")
+    return active
 
 
 class RequestRouter:
@@ -32,8 +92,9 @@ class RequestRouter:
 
     ``select`` receives the replica views in index order plus the request to
     place and returns the chosen replica index.  Routers may keep internal
-    state (e.g. the round-robin cursor); one router instance drives one
-    cluster run.
+    state (e.g. the round-robin position); one router instance drives one
+    cluster run.  Policies must restrict their choice to
+    :func:`routable_indices` so autoscaled-out replicas receive no traffic.
     """
 
     name = "base"
@@ -43,17 +104,26 @@ class RequestRouter:
 
 
 class RoundRobinRouter(RequestRouter):
-    """Cycle through replicas regardless of their load."""
+    """Cycle through the active replicas regardless of their load.
+
+    The rotation is anchored to the last *chosen replica index*, not to a
+    running counter: a ``cursor % len(replicas)`` implementation silently
+    re-skews whenever the active-replica count changes mid-run (every
+    autoscaling event would re-deal the deck), whereas picking the next
+    active index after the previous choice stays fair across scale-ups and
+    scale-downs.
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        self._last_choice = -1
 
     def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
-        index = self._cursor % len(replicas)
-        self._cursor += 1
-        return index
+        active = routable_indices(replicas)
+        choice = next((i for i in active if i > self._last_choice), active[0])
+        self._last_choice = choice
+        return choice
 
 
 class LeastOutstandingRouter(RequestRouter):
@@ -62,7 +132,7 @@ class LeastOutstandingRouter(RequestRouter):
     name = "least-outstanding"
 
     def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
-        return min(range(len(replicas)),
+        return min(routable_indices(replicas),
                    key=lambda i: (replicas[i].outstanding_requests, i))
 
 
@@ -72,14 +142,73 @@ class LeastKVUtilizationRouter(RequestRouter):
     name = "least-kv"
 
     def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
-        return min(range(len(replicas)),
+        return min(routable_indices(replicas),
                    key=lambda i: (replicas[i].kv_utilization, i))
+
+
+class SLOTTFTRouter(RequestRouter):
+    """Route to the replica with the lowest predicted time-to-first-token.
+
+    The prediction is ``(queue depth + 1) * per-iteration latency``: an
+    iteration-level scheduler gives every outstanding request one slot per
+    iteration, so the new request's prompt completes roughly one iteration
+    after the queue ahead of it has been entered.  The latency is the
+    replica's *measured* mean iteration latency; before a replica has
+    measured any iteration the policy falls back to its roofline latency
+    prior (``estimated_iteration_latency``), which ranks a big cold replica
+    above a small cold one in the same units as warm replicas.
+    """
+
+    name = "slo-ttft"
+
+    @staticmethod
+    def predicted_ttft(replica: "ReplicaView") -> float:
+        depth = getattr(replica, "outstanding_requests", 0)
+        latency = (getattr(replica, "mean_iteration_latency", 0.0)
+                   or getattr(replica, "estimated_iteration_latency", 0.0))
+        if latency > 0:
+            return (depth + 1) * latency
+        capability = getattr(replica, "device_throughput_tflops", 0.0)
+        if capability > 0:
+            return (depth + 1) / capability
+        return float(depth)
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        return min(routable_indices(replicas),
+                   key=lambda i: (self.predicted_ttft(replicas[i]), i))
+
+
+class WeightedCapacityRouter(RequestRouter):
+    """Deterministic weighted round-robin proportional to replica capability.
+
+    Each replica's weight is its roofline throughput estimate
+    (``device_throughput_tflops``, defaulting to 1.0 for plain views); the
+    router assigns every request to the active replica with the largest
+    weighted deficit — ``argmin (assigned + 1) / weight`` — which converges
+    to capability-proportional request counts without randomness.
+    """
+
+    name = "weighted-capacity"
+
+    def __init__(self) -> None:
+        self._assigned: Dict[int, int] = {}
+
+    def select(self, replicas: Sequence["ReplicaView"], request: Request) -> int:
+        def deficit(index: int) -> float:
+            weight = getattr(replicas[index], "device_throughput_tflops", 0.0) or 1.0
+            return (self._assigned.get(index, 0) + 1) / weight
+
+        choice = min(routable_indices(replicas), key=lambda i: (deficit(i), i))
+        self._assigned[choice] = self._assigned.get(choice, 0) + 1
+        return choice
 
 
 _ROUTER_FACTORIES: Dict[str, Callable[[], RequestRouter]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     LeastKVUtilizationRouter.name: LeastKVUtilizationRouter,
+    SLOTTFTRouter.name: SLOTTFTRouter,
+    WeightedCapacityRouter.name: WeightedCapacityRouter,
 }
 
 

@@ -3,41 +3,94 @@
 The single-system :class:`~repro.core.simulator.LLMServingSim` models one
 serving instance (one device group running one model copy).  Production
 deployments serve heavy traffic with many such instances behind a load
-balancer, so this module scales the co-simulation out: it instantiates
-``num_replicas`` fully independent ``LLMServingSim`` stacks — each with its
-own scheduler, KV-cache manager, engine stack and system simulator — and
+balancer, so this module scales the co-simulation out: it instantiates a
+fleet of fully independent ``LLMServingSim`` stacks — each with its own
+scheduler, KV-cache manager, engine stack and system simulator — and
 replays a request trace through a routing policy on a shared timeline.
+
+The fleet may be heterogeneous: :class:`~repro.core.config.ClusterConfig`
+expands a list of :class:`~repro.core.config.ReplicaSpec` into replicas of
+different classes (NPU-only next to NPU+PIM, small ``npu_num`` next to
+large), and each :class:`Replica` exposes capability signals — a roofline
+throughput estimate, its KV budget, its engine kind — so capability-aware
+routers can weigh *what* a replica is, not just how loaded it is.
 
 The cluster loop interleaves the replicas on arrival boundaries: before a
 request is routed, every replica is stepped until its local clock catches up
 with the arrival time, so load-aware policies (least-outstanding-requests,
-least-KV-utilization) observe each replica's queue and memory state *as of
-the arrival*, not as of the end of the run.  Iterations in flight when a
-request arrives are allowed to finish first, matching how iteration-level
-schedulers pick up new work only at iteration boundaries.
+least-KV-utilization, predicted-TTFT) observe each replica's queue and
+memory state *as of the arrival*, not as of the end of the run.  Iterations
+in flight when a request arrives are allowed to finish first, matching how
+iteration-level schedulers pick up new work only at iteration boundaries.
+
+When the config carries an :class:`~repro.core.config.AutoscaleConfig`, an
+:class:`~repro.cluster.autoscaler.Autoscaler` is threaded into the same
+arrival loop: it observes every arrival, activates or drains replicas
+against its bounds, and contributes the scaling timeline to the result.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..core.config import ClusterConfig
+from ..core.config import ClusterConfig, ServingSimConfig
 from ..core.simulator import LLMServingSim
+from ..models.graph import BatchComposition, SequenceSpec, build_iteration_graph
+from ..models.layers import Phase
+from ..models.roofline import DevicePeaks
 from ..workload.generator import RequestTrace
 from ..workload.request import Request
+from .autoscaler import Autoscaler, ReplicaLifecycle
 from .results import ClusterResult
 from .router import RequestRouter, build_router
 
 __all__ = ["Replica", "ClusterSimulator"]
 
+#: Context length used for the roofline capability estimate: long enough to
+#: be KV-dominated, short enough to represent typical serving traffic.
+_CAPABILITY_CONTEXT_TOKENS = 256
+
+
+def estimate_device_throughput(config: ServingSimConfig, model) -> "tuple[float, float]":
+    """Roofline capability estimate of one replica.
+
+    Builds a single-sequence generation iteration of the replica's model,
+    computes its aggregate arithmetic intensity, and bounds the attainable
+    throughput with the NPU's roofline (Section II-B / Figure 2(b)); the
+    estimate scales with ``npu_num``.  Returns the pair
+    ``(attainable_tflops, estimated_iteration_latency_seconds)`` — the static
+    capability signal heterogeneity-aware routers weigh replicas by, and the
+    latency prior the ``slo-ttft`` policy uses for replicas that have not
+    measured an iteration yet.
+    """
+    graph = build_iteration_graph(model, BatchComposition(
+        [SequenceSpec(0, _CAPABILITY_CONTEXT_TOKENS, 1, Phase.GENERATION)]))
+    flops = sum(op.flops for op in graph.block_operators)
+    moved = sum(op.total_bytes for op in graph.block_operators)
+    if not flops or not moved:
+        return 0.0, 0.0
+    peaks = DevicePeaks(name="replica-npu",
+                        peak_tflops=config.npu_config.peak_flops / 1e12,
+                        peak_bandwidth_gbs=config.npu_config.memory_bandwidth_gbs)
+    attainable = config.npu_num * peaks.attainable_tflops(flops / moved)
+    iteration_flops = flops * model.num_layers
+    return attainable, iteration_flops / (attainable * 1e12)
+
 
 class Replica:
     """One serving replica plus the load view the router selects on."""
 
-    def __init__(self, replica_id: int, simulator: LLMServingSim) -> None:
+    def __init__(self, replica_id: int, simulator: LLMServingSim,
+                 class_name: str = "default") -> None:
         self.replica_id = replica_id
         self.simulator = simulator
+        self.class_name = class_name
         self.iterations_run = 0
+        self.lifecycle = ReplicaLifecycle.ACTIVE
+        self.warm_at = 0.0
+        self._latency_sum = 0.0
+        self._capability, self._estimated_latency = estimate_device_throughput(
+            simulator.config, simulator.model)
 
     # -- ReplicaView protocol (what routing policies may observe) -------------
 
@@ -51,6 +104,68 @@ class Replica:
     def kv_utilization(self) -> float:
         """Fraction of this replica's KV-cache budget currently in use."""
         return self.simulator.kv_manager.utilization()
+
+    @property
+    def mean_iteration_latency(self) -> float:
+        """Measured seconds per serving iteration (0.0 before the first one)."""
+        if self.iterations_run == 0:
+            return 0.0
+        return self._latency_sum / self.iterations_run
+
+    @property
+    def device_throughput_tflops(self) -> float:
+        """Roofline-attainable generation throughput across this replica's NPUs."""
+        return self._capability
+
+    @property
+    def estimated_iteration_latency(self) -> float:
+        """Roofline prior for seconds per iteration, before any measurement."""
+        return self._estimated_latency
+
+    @property
+    def kv_budget_bytes(self) -> int:
+        """Total KV-cache capacity of this replica."""
+        return self.simulator.kv_manager.capacity_bytes
+
+    @property
+    def engine_kind(self) -> str:
+        """``"npu"`` or ``"npu+pim"``, the replica's accelerator complement."""
+        return "npu" if self.simulator.config.pim_type == "none" else "npu+pim"
+
+    @property
+    def is_routable(self) -> bool:
+        """Whether the router may place new requests on this replica."""
+        return self.lifecycle is ReplicaLifecycle.ACTIVE
+
+    # -- autoscaling lifecycle -------------------------------------------------
+
+    def activate(self, now: float, warmup_seconds: float = 0.0) -> None:
+        """Provision this replica; cold replicas pay the warm-up first."""
+        if self.lifecycle in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.WARMING):
+            return
+        if self.lifecycle is ReplicaLifecycle.DRAINING:
+            # Still warm: its engine state never left, so no warm-up applies.
+            self.lifecycle = ReplicaLifecycle.ACTIVE
+            return
+        if warmup_seconds > 0:
+            self.lifecycle = ReplicaLifecycle.WARMING
+            self.warm_at = now + warmup_seconds
+        else:
+            self.lifecycle = ReplicaLifecycle.ACTIVE
+
+    def deactivate(self) -> None:
+        """Remove this replica from routing; outstanding requests drain."""
+        if self.lifecycle in (ReplicaLifecycle.STOPPED, ReplicaLifecycle.DRAINING):
+            return
+        self.lifecycle = (ReplicaLifecycle.DRAINING if self.has_work
+                          else ReplicaLifecycle.STOPPED)
+
+    def update_lifecycle(self, now: float) -> None:
+        """Apply time-driven transitions: warm-up completion, drain completion."""
+        if self.lifecycle is ReplicaLifecycle.WARMING and now >= self.warm_at:
+            self.lifecycle = ReplicaLifecycle.ACTIVE
+        elif self.lifecycle is ReplicaLifecycle.DRAINING and not self.has_work:
+            self.lifecycle = ReplicaLifecycle.STOPPED
 
     # -- simulation control ----------------------------------------------------
 
@@ -71,6 +186,7 @@ class Replica:
         if record is None:
             return False
         self.iterations_run += 1
+        self._latency_sum += record.latency
         return True
 
     def advance_until(self, time: float, max_iterations: Optional[int] = None) -> None:
@@ -88,11 +204,15 @@ class ClusterSimulator:
     Parameters
     ----------
     config:
-        Cluster shape and the per-replica serving configuration.
+        Cluster shape (homogeneous template or heterogeneous replica specs),
+        the routing policy and optional autoscaling bounds.
     router:
         Optional pre-built routing policy; defaults to the policy named by
         ``config.routing``.  Custom policies registered through
         :func:`repro.cluster.register_router` are resolved the same way.
+        The autoscaler, by contrast, is always built here from
+        ``config.autoscale`` — it must be bound to this simulator's replica
+        list, so it cannot be meaningfully pre-built by the caller.
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
@@ -100,9 +220,13 @@ class ClusterSimulator:
         self.config = config or ClusterConfig()
         self.router = router or build_router(self.config.routing)
         self.replicas: List[Replica] = [
-            Replica(i, LLMServingSim(self.config.replica))
-            for i in range(self.config.num_replicas)
+            Replica(i, LLMServingSim(replica_config), class_name=class_name)
+            for i, (class_name, replica_config)
+            in enumerate(self.config.expanded_replicas())
         ]
+        self.autoscaler: Optional[Autoscaler] = (
+            Autoscaler(self.config.autoscale, self.replicas)
+            if self.config.autoscale is not None else None)
         self.assignments: Dict[int, int] = {}
 
     # -- public API ------------------------------------------------------------
@@ -122,8 +246,8 @@ class ClusterSimulator:
         Returns
         -------
         ClusterResult
-            Per-replica results, the routing assignment and cluster-level
-            throughput / SLO metrics.
+            Per-replica results, the routing assignment, the scaling timeline
+            (when autoscaling) and cluster-level throughput / SLO metrics.
         """
         requests = (list(workload.requests) if isinstance(workload, RequestTrace)
                     else list(workload))
@@ -131,17 +255,29 @@ class ClusterSimulator:
 
         for request in requests:
             # Catch every replica up to this arrival so load-aware policies
-            # see current queue depth and KV occupancy, then route.
+            # see current queue depth and KV occupancy; refresh lifecycles
+            # (warm-ups that elapsed, drains that completed), let the
+            # autoscaler react to the arrival, then route.
+            now = request.arrival_time
             for replica in self.replicas:
-                replica.advance_until(request.arrival_time, max_iterations_per_replica)
+                replica.advance_until(now, max_iterations_per_replica)
+                replica.update_lifecycle(now)
+            if self.autoscaler is not None:
+                self.autoscaler.observe_arrival(now)
             index = self.router.select(self.replicas, request)
             if not 0 <= index < len(self.replicas):
                 raise ValueError(f"router {self.router.name!r} chose invalid "
                                  f"replica index {index}")
+            if not self.replicas[index].is_routable:
+                raise ValueError(f"router {self.router.name!r} chose replica "
+                                 f"{index}, which is "
+                                 f"{self.replicas[index].lifecycle.value} and "
+                                 f"may not accept routes")
             self.replicas[index].submit(request)
             self.assignments[request.request_id] = index
 
-        # All requests are placed: drain every replica.
+        # All requests are placed: drain every replica (including replicas
+        # the autoscaler put into DRAINING — their requests still finish).
         for replica in self.replicas:
             while replica.has_work:
                 if (max_iterations_per_replica is not None
@@ -154,4 +290,11 @@ class ClusterSimulator:
             routing=self.router.name,
             replica_results=[r.simulator.collect_result() for r in self.replicas],
             assignments=dict(self.assignments),
+            replica_classes=[r.class_name for r in self.replicas],
+            scaling_timeline=(list(self.autoscaler.events)
+                              if self.autoscaler is not None else []),
+            initial_provisioned=(self.autoscaler.min_replicas
+                                 if self.autoscaler is not None else None),
+            ttft_slo_target=self.config.ttft_slo,
+            e2e_slo_target=self.config.e2e_slo,
         )

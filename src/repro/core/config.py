@@ -11,7 +11,7 @@ network configuration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..engine.npu import NPUConfig, TABLE1_NPU
 from ..engine.pim import PIMConfig, TABLE1_PIM
@@ -21,7 +21,7 @@ from ..system.network import NetworkConfig
 from ..system.topology import PIMMode
 from .simtime import SimTimeCalibration
 
-__all__ = ["ServingSimConfig", "ClusterConfig"]
+__all__ = ["ServingSimConfig", "ReplicaSpec", "AutoscaleConfig", "ClusterConfig"]
 
 
 @dataclass
@@ -141,31 +141,164 @@ class ServingSimConfig:
 
 
 @dataclass
+class ReplicaSpec:
+    """One homogeneous class of replicas inside a (possibly mixed) fleet.
+
+    A heterogeneous cluster is described as a list of specs, each wrapping a
+    full :class:`ServingSimConfig` plus the number of identical replicas to
+    instantiate from it — e.g. two NPU-only replicas next to two NPU+PIM
+    replicas, or a pool of small-``npu_num`` systems backing a few large ones.
+
+    Attributes
+    ----------
+    config:
+        The serving configuration every replica of this class is built from.
+    count:
+        Number of identical replicas to instantiate.
+    name:
+        Replica-class label used in per-class SLO reporting; derived from the
+        distinguishing hardware knobs when left empty.
+    """
+
+    config: ServingSimConfig = field(default_factory=ServingSimConfig)
+    count: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("replica count must be positive")
+        if not self.name:
+            label = f"{self.config.model_name}-npu{self.config.npu_num}"
+            if self.config.pim_type != "none":
+                label += f"-pim-{self.config.pim_type}"
+            self.name = label
+
+
+@dataclass
+class AutoscaleConfig:
+    """Autoscaling policy of a cluster: replica count tracking arrival rate.
+
+    The :class:`~repro.cluster.autoscaler.Autoscaler` watches a sliding
+    window of request arrivals and keeps
+    ``ceil(window_rate / target_rate_per_replica)`` replicas provisioned,
+    clamped to ``[min_replicas, max_replicas]``.  Newly activated replicas
+    spend ``warmup_seconds`` warming before they accept routes (model load /
+    cache fill in a real deployment); deactivated replicas drain their
+    outstanding requests before stopping.
+
+    Attributes
+    ----------
+    min_replicas:
+        Lower bound on provisioned replicas (also the initial fleet size).
+    max_replicas:
+        Upper bound on provisioned replicas; 0 means "the whole fleet".
+    window_seconds:
+        Width of the sliding arrival-rate window.
+    target_rate_per_replica:
+        Arrival rate (requests/s) one replica is provisioned for.
+    warmup_seconds:
+        Delay between activating a cold replica and it accepting routes.
+    cooldown_seconds:
+        Minimum time between two scaling decisions (flap damping).
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 0
+    window_seconds: float = 30.0
+    target_rate_per_replica: float = 4.0
+    warmup_seconds: float = 5.0
+    cooldown_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas <= 0:
+            raise ValueError("min_replicas must be positive")
+        if self.max_replicas and self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas (or 0 for the fleet size)")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.target_rate_per_replica <= 0:
+            raise ValueError("target_rate_per_replica must be positive")
+        if self.warmup_seconds < 0:
+            raise ValueError("warmup_seconds must be non-negative")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+
+
+@dataclass
 class ClusterConfig:
     """Configuration of a multi-replica serving cluster.
 
-    A cluster is ``num_replicas`` independent :class:`ServingSimConfig`-shaped
+    A cluster is a fleet of independent :class:`ServingSimConfig`-shaped
     serving systems (each with its own scheduler, KV manager and engine stack)
     behind a request router.  Routing-policy names are resolved by
     :func:`repro.cluster.build_router`; the built-in policies are
-    ``"round-robin"``, ``"least-outstanding"`` and ``"least-kv"``.
+    ``"round-robin"``, ``"least-outstanding"``, ``"least-kv"``, ``"slo-ttft"``
+    and ``"weighted-capacity"``.
+
+    The fleet is described either by the single-template sugar
+    (``num_replicas`` copies of ``replica``) or, for heterogeneous clusters,
+    by an explicit ``replicas`` list of :class:`ReplicaSpec`; when the list is
+    given it wins and ``num_replicas`` is derived from the spec counts.
 
     Attributes
     ----------
     num_replicas:
-        Number of serving replicas behind the router.
+        Number of serving replicas behind the router (derived from
+        ``replicas`` when that list is given).
     routing:
         Name of the request-routing policy.
     replica:
-        Configuration template every replica is built from.
+        Configuration template every replica is built from (single-template
+        sugar; ignored when ``replicas`` is set).
+    replicas:
+        Heterogeneous fleet description: one :class:`ReplicaSpec` per replica
+        class.  ``None`` expands the single-template form to one spec.
+    autoscale:
+        Optional :class:`AutoscaleConfig`; ``None`` keeps the whole fleet
+        active for the entire run.
+    ttft_slo:
+        Optional time-to-first-token SLO target (seconds) reported as
+        per-class attainment in :class:`~repro.cluster.results.ClusterResult`.
+    e2e_slo:
+        Optional end-to-end latency SLO target (seconds), reported likewise.
     """
 
     num_replicas: int = 2
     routing: str = "round-robin"
     replica: ServingSimConfig = field(default_factory=ServingSimConfig)
+    replicas: Optional[List[ReplicaSpec]] = None
+    autoscale: Optional[AutoscaleConfig] = None
+    ttft_slo: Optional[float] = None
+    e2e_slo: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.replicas is not None:
+            if not self.replicas:
+                raise ValueError("replicas must be non-empty when given")
+            self.num_replicas = sum(spec.count for spec in self.replicas)
         if self.num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
         if not self.routing:
             raise ValueError("routing policy name must be non-empty")
+        if self.autoscale is not None:
+            if self.autoscale.min_replicas > self.num_replicas:
+                raise ValueError("autoscale.min_replicas exceeds the fleet size")
+            if self.autoscale.max_replicas > self.num_replicas:
+                raise ValueError("autoscale.max_replicas exceeds the fleet size")
+        if self.ttft_slo is not None and self.ttft_slo <= 0:
+            raise ValueError("ttft_slo must be positive when set")
+        if self.e2e_slo is not None and self.e2e_slo <= 0:
+            raise ValueError("e2e_slo must be positive when set")
+
+    def replica_specs(self) -> List[ReplicaSpec]:
+        """The fleet as replica-class specs (single template becomes one spec)."""
+        if self.replicas is not None:
+            return list(self.replicas)
+        return [ReplicaSpec(config=self.replica, count=self.num_replicas)]
+
+    def expanded_replicas(self) -> List[Tuple[str, ServingSimConfig]]:
+        """One ``(class_name, config)`` pair per replica instance, in order."""
+        expanded: List[Tuple[str, ServingSimConfig]] = []
+        for spec in self.replica_specs():
+            expanded.extend((spec.name, spec.config) for _ in range(spec.count))
+        return expanded

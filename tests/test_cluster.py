@@ -2,12 +2,16 @@
 
 import pytest
 
-from repro import ClusterConfig, ClusterSimulator, ServingSimConfig, generate_trace
-from repro.analysis import percentile, request_slo_metrics, slo_summary, time_between_tokens
+from repro import (AutoscaleConfig, ClusterConfig, ClusterSimulator, ReplicaSpec,
+                   ServingSimConfig, generate_trace)
+from repro.analysis import (percentile, request_slo_metrics, slo_attainment, slo_summary,
+                            time_between_tokens)
 from repro.cli import main as cli_main
-from repro.cluster import (ClusterResult, LeastKVUtilizationRouter, LeastOutstandingRouter,
-                           RequestRouter, RoundRobinRouter, available_routers, build_router,
-                           register_router)
+from repro.cluster import (Autoscaler, ClusterResult, LeastKVUtilizationRouter,
+                           LeastOutstandingRouter, ReplicaLifecycle, RequestRouter,
+                           RoundRobinRouter, SLOTTFTRouter, WeightedCapacityRouter,
+                           available_routers, build_router, register_router,
+                           routable_indices)
 from repro.workload import Request
 
 
@@ -18,9 +22,12 @@ def replica_config(**overrides):
 
 
 class FakeReplicaView:
-    def __init__(self, outstanding, kv):
+    def __init__(self, outstanding, kv, latency=0.0, capability=0.0, routable=True):
         self.outstanding_requests = outstanding
         self.kv_utilization = kv
+        self.mean_iteration_latency = latency
+        self.device_throughput_tflops = capability
+        self.is_routable = routable
 
 
 class TestRouters:
@@ -41,10 +48,70 @@ class TestRouters:
         views = [FakeReplicaView(1, 0.8), FakeReplicaView(9, 0.2), FakeReplicaView(1, 0.5)]
         assert router.select(views, Request(0, 8, 2)) == 1
 
+    def test_round_robin_no_reskew_when_active_set_changes(self):
+        # Regression: a `cursor % len(replicas)` round-robin silently re-skews
+        # (and can pick a non-routable replica) when the active-replica count
+        # changes mid-run under autoscaling.
+        router = RoundRobinRouter()
+        views = [FakeReplicaView(0, 0.0) for _ in range(3)]
+        request = Request(0, 8, 2)
+        assert [router.select(views, request) for _ in range(3)] == [0, 1, 2]
+        views[1].is_routable = False  # autoscaler drained replica 1
+        picks = [router.select(views, request) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]  # fair over the active set, 1 never chosen
+        views[1].is_routable = True   # replica 1 comes back
+        assert [router.select(views, request) for _ in range(3)] == [0, 1, 2]
+
+    def test_all_builtin_routers_skip_non_routable_replicas(self):
+        request = Request(0, 8, 2)
+        for name in available_routers():
+            router = build_router(name)
+            views = [FakeReplicaView(0, 0.0, routable=False),
+                     FakeReplicaView(9, 0.9, latency=5.0, capability=0.1)]
+            assert router.select(views, request) == 1, name
+
+    def test_routable_indices_defaults_and_empty_error(self):
+        views = [FakeReplicaView(0, 0.0), FakeReplicaView(0, 0.0, routable=False)]
+        assert routable_indices(views) == [0]
+        assert routable_indices([object(), object()]) == [0, 1]  # no lifecycle attr
+        with pytest.raises(ValueError):
+            routable_indices([FakeReplicaView(0, 0.0, routable=False)] * 2)
+
+    def test_slo_ttft_prefers_lowest_predicted_ttft(self):
+        router = SLOTTFTRouter()
+        # Replica 0: short queue but slow iterations; replica 1: deeper queue,
+        # fast iterations -> lower predicted TTFT wins.
+        views = [FakeReplicaView(2, 0.0, latency=1.0),
+                 FakeReplicaView(5, 0.0, latency=0.1)]
+        assert router.select(views, Request(0, 8, 2)) == 1
+        assert SLOTTFTRouter.predicted_ttft(views[0]) == pytest.approx(3.0)
+        assert SLOTTFTRouter.predicted_ttft(views[1]) == pytest.approx(0.6)
+
+    def test_slo_ttft_cold_replicas_ranked_by_capability(self):
+        router = SLOTTFTRouter()
+        views = [FakeReplicaView(0, 0.0, capability=1.0),
+                 FakeReplicaView(0, 0.0, capability=4.0)]
+        assert router.select(views, Request(0, 8, 2)) == 1
+
+    def test_weighted_capacity_is_capability_proportional(self):
+        router = WeightedCapacityRouter()
+        views = [FakeReplicaView(0, 0.0, capability=1.0),
+                 FakeReplicaView(0, 0.0, capability=3.0)]
+        picks = [router.select(views, Request(i, 8, 2)) for i in range(40)]
+        assert picks.count(1) == 30 and picks.count(0) == 10
+
+    def test_weighted_capacity_defaults_to_uniform_without_capability(self):
+        router = WeightedCapacityRouter()
+        views = [FakeReplicaView(0, 0.0), FakeReplicaView(0, 0.0)]
+        picks = [router.select(views, Request(i, 8, 2)) for i in range(10)]
+        assert picks.count(0) == picks.count(1) == 5
+
     def test_build_router_dispatch(self):
         assert isinstance(build_router("round-robin"), RoundRobinRouter)
         assert isinstance(build_router("least-outstanding"), LeastOutstandingRouter)
         assert isinstance(build_router("least-kv"), LeastKVUtilizationRouter)
+        assert isinstance(build_router("slo-ttft"), SLOTTFTRouter)
+        assert isinstance(build_router("weighted-capacity"), WeightedCapacityRouter)
         with pytest.raises(ValueError):
             build_router("random")
 
@@ -78,6 +145,53 @@ class TestClusterConfig:
     def test_unknown_routing_rejected_at_build(self):
         with pytest.raises(ValueError):
             ClusterSimulator(ClusterConfig(routing="magic", replica=replica_config()))
+
+    def test_single_template_expands_to_one_spec(self):
+        config = ClusterConfig(num_replicas=3, replica=replica_config())
+        specs = config.replica_specs()
+        assert len(specs) == 1 and specs[0].count == 3
+        expanded = config.expanded_replicas()
+        assert len(expanded) == 3
+        assert all(name == specs[0].name for name, _ in expanded)
+
+    def test_heterogeneous_specs_drive_num_replicas(self):
+        config = ClusterConfig(
+            num_replicas=99,  # overridden by the explicit spec list
+            replicas=[ReplicaSpec(replica_config(), count=2, name="small"),
+                      ReplicaSpec(replica_config(npu_num=4), count=1, name="large")])
+        assert config.num_replicas == 3
+        assert [name for name, _ in config.expanded_replicas()] == ["small", "small", "large"]
+        assert config.expanded_replicas()[2][1].npu_num == 4
+
+    def test_replica_spec_default_name_from_hardware(self):
+        assert ReplicaSpec(replica_config()).name == "gpt2-npu1"
+        assert ReplicaSpec(replica_config(npu_num=2, pim_type="pool")).name == "gpt2-npu2-pim-pool"
+
+    def test_replica_spec_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSpec(replica_config(), count=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas=[])
+
+    def test_autoscale_bounds_validation(self):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(target_rate_per_replica=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(num_replicas=2, replica=replica_config(),
+                          autoscale=AutoscaleConfig(min_replicas=3))
+        with pytest.raises(ValueError):
+            ClusterConfig(num_replicas=2, replica=replica_config(),
+                          autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4))
+
+    def test_slo_target_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(replica=replica_config(), ttft_slo=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replica=replica_config(), e2e_slo=-1.0)
 
 
 class TestClusterSimulator:
@@ -166,6 +280,235 @@ class TestClusterSimulator:
         assert result.assignment_imbalance() == 1.0
 
 
+class TestReplicaCapabilitySignals:
+    def test_capability_scales_with_npu_num(self):
+        sim = ClusterSimulator(ClusterConfig(
+            replicas=[ReplicaSpec(replica_config(), count=1, name="small"),
+                      ReplicaSpec(replica_config(npu_num=4), count=1, name="large")]))
+        small, large = sim.replicas
+        assert small.device_throughput_tflops > 0
+        assert large.device_throughput_tflops > small.device_throughput_tflops
+        assert large.estimated_iteration_latency < small.estimated_iteration_latency
+        assert small.kv_budget_bytes > 0
+        assert small.engine_kind == "npu"
+        assert small.class_name == "small" and large.class_name == "large"
+
+    def test_engine_kind_reports_pim(self):
+        sim = ClusterSimulator(ClusterConfig(
+            num_replicas=1, replica=replica_config(pim_type="local")))
+        assert sim.replicas[0].engine_kind == "npu+pim"
+
+    def test_mean_iteration_latency_measured(self):
+        sim = ClusterSimulator(ClusterConfig(num_replicas=1, replica=replica_config()))
+        replica = sim.replicas[0]
+        assert replica.mean_iteration_latency == 0.0
+        sim.run(generate_trace("alpaca", 2, arrival="burst", seed=0))
+        assert replica.mean_iteration_latency > 0.0
+
+
+class TestHeterogeneousRouting:
+    """A 2-class fleet where capability-aware routing must pay off."""
+
+    @staticmethod
+    def _fleet():
+        small = ServingSimConfig(model_name="gpt3-7b", npu_num=1, max_batch=4,
+                                 graph_granularity="block")
+        large = ServingSimConfig(model_name="gpt3-7b", npu_num=4, max_batch=4,
+                                 graph_granularity="block")
+        return [ReplicaSpec(config=small, count=2, name="small"),
+                ReplicaSpec(config=large, count=2, name="large")]
+
+    @staticmethod
+    def _trace():
+        return generate_trace("alpaca", 32, arrival="poisson-burst",
+                              rate_per_second=24.0, burst_size_mean=6.0, seed=23)
+
+    def test_weighted_capacity_beats_round_robin_on_p95_ttft(self):
+        results = {}
+        for routing in ("round-robin", "weighted-capacity"):
+            config = ClusterConfig(routing=routing, replicas=self._fleet())
+            results[routing] = ClusterSimulator(config).run(self._trace())
+        rr = results["round-robin"].slo_metrics()["ttft"].p95
+        wc = results["weighted-capacity"].slo_metrics()["ttft"].p95
+        assert wc < rr
+        # The win comes from shifting load to the large replicas.
+        split = results["weighted-capacity"].requests_per_replica()
+        assert sum(split[2:]) > sum(split[:2])
+        assert results["round-robin"].requests_per_replica() == [8, 8, 8, 8]
+
+    def test_per_class_slo_views(self):
+        config = ClusterConfig(routing="weighted-capacity", replicas=self._fleet(),
+                               ttft_slo=5.0, e2e_slo=60.0)
+        result = ClusterSimulator(config).run(self._trace())
+        per_class = result.per_class_slo_metrics()
+        assert set(per_class) == {"small", "large"}
+        assert per_class["large"]["ttft"].count > per_class["small"]["ttft"].count
+        attained = result.slo_attainment()
+        assert set(attained) == {"small", "large", "cluster"}
+        for attainment in attained.values():
+            assert attainment.ttft_rate is not None and 0.0 <= attainment.ttft_rate <= 1.0
+            assert attainment.e2e_rate is not None and 0.0 <= attainment.e2e_rate <= 1.0
+
+
+def autoscaled_cluster(routing="round-robin", min_replicas=1, max_replicas=4,
+                       window=2.0, target_rate=1.0, warmup=0.5, cooldown=0.5,
+                       replicas=None):
+    config = ClusterConfig(
+        num_replicas=4, routing=routing, replica=replica_config(),
+        replicas=replicas,
+        autoscale=AutoscaleConfig(min_replicas=min_replicas, max_replicas=max_replicas,
+                                  window_seconds=window,
+                                  target_rate_per_replica=target_rate,
+                                  warmup_seconds=warmup, cooldown_seconds=cooldown))
+    return ClusterSimulator(config)
+
+
+class TestAutoscaler:
+    def test_starts_with_min_replicas_active(self):
+        sim = autoscaled_cluster(min_replicas=2)
+        states = [r.lifecycle for r in sim.replicas]
+        assert states == [ReplicaLifecycle.ACTIVE, ReplicaLifecycle.ACTIVE,
+                          ReplicaLifecycle.STOPPED, ReplicaLifecycle.STOPPED]
+
+    def test_warming_replica_accepts_no_routes_until_warm(self):
+        sim = autoscaled_cluster(min_replicas=1, warmup=2.0)
+        replica = sim.replicas[1]
+        replica.activate(now=10.0, warmup_seconds=2.0)
+        assert replica.lifecycle is ReplicaLifecycle.WARMING
+        assert not replica.is_routable
+        replica.update_lifecycle(11.9)
+        assert not replica.is_routable
+        replica.update_lifecycle(12.0)
+        assert replica.lifecycle is ReplicaLifecycle.ACTIVE
+        assert replica.is_routable
+
+    def test_deactivated_replica_drains_then_stops(self):
+        sim = autoscaled_cluster(min_replicas=2)
+        replica = sim.replicas[0]
+        replica.submit(Request(0, 8, 2, arrival_time=0.0))
+        replica.deactivate()
+        assert replica.lifecycle is ReplicaLifecycle.DRAINING
+        assert not replica.is_routable
+        while replica.has_work:
+            assert replica.step()
+        replica.update_lifecycle(replica.clock)
+        assert replica.lifecycle is ReplicaLifecycle.STOPPED
+
+    def test_reactivating_draining_replica_skips_warmup(self):
+        sim = autoscaled_cluster(min_replicas=2)
+        replica = sim.replicas[0]
+        replica.submit(Request(0, 8, 2, arrival_time=0.0))
+        replica.deactivate()
+        replica.activate(now=1.0, warmup_seconds=5.0)
+        assert replica.lifecycle is ReplicaLifecycle.ACTIVE
+
+    def test_scaling_timeline_follows_diurnal_load_up_and_down(self):
+        sim = autoscaled_cluster(min_replicas=1, window=4.0, target_rate=1.0,
+                                 warmup=0.5, cooldown=1.0)
+        # A hand-written diurnal day: sparse trough, dense midday peak,
+        # sparse evening tail.
+        arrivals = ([1.0, 4.0, 7.0]                                  # ~0.3 req/s
+                    + [10.0 + 0.25 * i for i in range(16)]           # ~4 req/s peak
+                    + [25.0, 32.0, 39.0, 46.0])                      # back to trough
+        requests = [Request(i, 8, 2, arrival_time=t) for i, t in enumerate(arrivals)]
+        result = sim.run(requests)
+        assert len(result.finished_requests) == len(requests)
+        actions = [event.action for event in result.scaling_timeline]
+        assert "scale-up" in actions and "scale-down" in actions
+        assert result.peak_provisioned_replicas() >= 2
+        # The fleet returns to the trough size by the end of the day.
+        assert result.scaling_timeline[-1].action == "scale-down"
+        assert result.scaling_timeline[-1].provisioned_after == 1
+        series = result.provisioned_series()
+        assert series[0] == (0.0, 1)
+        counts = [count for _, count in series]
+        assert max(counts) == result.peak_provisioned_replicas()
+
+    def test_peak_provisioned_accounts_for_initial_count(self):
+        from repro import ScalingEvent
+        # A run that starts at 3 provisioned and only scales down: the peak
+        # is the initial count, not the largest event value.
+        result = ClusterResult(
+            routing="round-robin",
+            scaling_timeline=[ScalingEvent(5.0, "scale-down", 2, "default", 2),
+                              ScalingEvent(9.0, "scale-down", 1, "default", 1)],
+            initial_provisioned=3)
+        assert result.peak_provisioned_replicas() == 3
+        assert result.provisioned_series() == [(0.0, 3), (5.0, 2), (9.0, 1)]
+        # An autoscaled run that never scaled: the peak is min_replicas, not
+        # the parked fleet size.
+        sim = autoscaled_cluster(min_replicas=1, window=100.0, target_rate=100.0)
+        run = sim.run(generate_trace("alpaca", 4, arrival="poisson",
+                                     rate_per_second=2.0, seed=1))
+        assert run.peak_provisioned_replicas() == 1
+
+    def test_router_never_routes_to_parked_replicas(self):
+        sim = autoscaled_cluster(min_replicas=1, routing="round-robin",
+                                 window=100.0, target_rate=100.0)  # never scales up
+        trace = generate_trace("alpaca", 8, arrival="poisson", rate_per_second=2.0, seed=1)
+        result = sim.run(trace)
+        assert set(result.assignments.values()) == {0}
+        assert result.scaling_timeline == []
+
+    def test_heterogeneous_slo_ttft_autoscaled_fleet(self):
+        # The acceptance scenario: a 4-replica 2-class fleet under slo-ttft
+        # routing with autoscaling bounds must produce a populated scaling
+        # timeline and per-class SLO attainment.
+        fleet = [ReplicaSpec(replica_config(max_batch=8), count=2, name="small"),
+                 ReplicaSpec(replica_config(npu_num=4, max_batch=8), count=2, name="large")]
+        config = ClusterConfig(
+            routing="slo-ttft", replicas=fleet,
+            autoscale=AutoscaleConfig(min_replicas=2, max_replicas=4,
+                                      window_seconds=5.0, target_rate_per_replica=1.25,
+                                      warmup_seconds=2.0, cooldown_seconds=3.0),
+            ttft_slo=2.0, e2e_slo=30.0)
+        trace = generate_trace("alpaca", 90, arrival="diurnal", rate_per_second=3.0,
+                               amplitude=0.85, period_seconds=30.0, seed=42)
+        result = ClusterSimulator(config).run(trace)
+        assert len(result.finished_requests) == 90
+        assert result.scaling_timeline, "diurnal load must trigger scaling"
+        assert {event.replica_class for event in result.scaling_timeline} <= {"small", "large"}
+        attained = result.slo_attainment()
+        assert set(attained) == {"small", "large", "cluster"}
+        assert attained["cluster"].total == 90
+        assert attained["cluster"].ttft_rate is not None
+        assert attained["cluster"].e2e_rate is not None
+        rows = dict((row[0], row[1]) for row in result.summary_rows())
+        assert "scaling events" in rows
+        assert "SLO attainment [small]" in rows
+
+
+class TestSLOAttainment:
+    def test_counts_and_rates(self):
+        done = Request(0, 8, 2, arrival_time=0.0)
+        done.record_prompt_done(0.5)
+        done.record_generated_token(1.0)
+        slow = Request(1, 8, 2, arrival_time=0.0)
+        slow.record_prompt_done(3.0)
+        slow.record_generated_token(9.0)
+        attained = slo_attainment([done, slow], ttft_target=1.0, e2e_target=5.0)
+        assert attained.total == 2
+        assert attained.ttft_met == 1 and attained.ttft_rate == pytest.approx(0.5)
+        assert attained.e2e_met == 1 and attained.e2e_rate == pytest.approx(0.5)
+
+    def test_unserved_requests_count_as_misses(self):
+        waiting = Request(0, 8, 2, arrival_time=0.0)
+        attained = slo_attainment([waiting], ttft_target=10.0, e2e_target=10.0)
+        assert attained.ttft_rate == 0.0 and attained.e2e_rate == 0.0
+
+    def test_untargeted_metrics_are_none(self):
+        attained = slo_attainment([], ttft_target=1.0)
+        assert attained.total == 0
+        assert attained.ttft_rate == 1.0  # vacuously met
+        assert attained.e2e_met is None and attained.e2e_rate is None
+
+    def test_invalid_targets_raise(self):
+        with pytest.raises(ValueError):
+            slo_attainment([], ttft_target=0.0)
+        with pytest.raises(ValueError):
+            slo_attainment([], e2e_target=-1.0)
+
+
 class TestSLOMetrics:
     def test_percentile_interpolation(self):
         values = [1.0, 2.0, 3.0, 4.0]
@@ -229,3 +572,51 @@ class TestClusterCLI:
                               "--dataset", "alpaca", "--num-requests", "2", "--rate", "5.0"])
         assert exit_code == 0
         assert "generation throughput" in capsys.readouterr().out
+
+    def test_replica_spec_and_autoscale_flags(self, capsys):
+        exit_code = cli_main([
+            "cluster", "--routing", "slo-ttft",
+            "--model-name", "gpt2", "--npu-mem", "4", "--dataset", "alpaca",
+            "--replica-spec", "count=1,npu_num=1,name=small",
+            "--replica-spec", "count=1,npu_num=4,name=large",
+            "--autoscale", "1:2", "--autoscale-window", "2",
+            "--autoscale-target-rate", "2", "--autoscale-warmup", "0.5",
+            "--autoscale-cooldown", "0.5", "--ttft-slo", "2.0",
+            "--num-requests", "8", "--rate", "8.0", "--arrival", "poisson-burst",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "1x small, 1x large" in captured
+        assert "8/8" in captured
+        assert "SLO attainment [cluster]" in captured
+
+    def test_replica_spec_parsing(self):
+        import argparse
+        from repro.cli import parse_autoscale_bounds, parse_replica_spec
+        base = replica_config()
+        spec = parse_replica_spec("count=3,npu-num=4,name=big,scheduling=static", base)
+        assert spec.count == 3 and spec.name == "big"
+        assert spec.config.npu_num == 4 and spec.config.scheduling == "static"
+        assert spec.config.model_name == base.model_name  # inherited
+        assert base.npu_num == 1  # base untouched
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_replica_spec("bogus_field=1", base)
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_replica_spec("npu_num", base)
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_replica_spec("count=abc", base)
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_replica_spec("npu_num=four", base)
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_replica_spec("npu_num=0", base)  # rejected by config validation
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_autoscale_bounds("3")
+        assert parse_autoscale_bounds("1:4") == (1, 4)
+
+    def test_bad_replica_spec_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["cluster", "--model-name", "gpt2", "--npu-mem", "4",
+                      "--replica-spec", "bogus=1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "Traceback" not in err

@@ -1,0 +1,132 @@
+"""Documentation health checks: links, config reference, CLI examples.
+
+Three guarantees keep the ``docs/`` tree honest:
+
+* every intra-repo markdown link resolves to a real file (the CI docs job
+  fails on broken links);
+* the field tables in ``docs/configuration.md`` list exactly the fields of
+  the config dataclasses they document — no silent drift in either
+  direction;
+* the ``cluster`` CLI commands quoted in the README quickstart actually run
+  (so the documented ``--replica-spec`` / ``--autoscale`` examples stay in
+  sync with the parser).
+"""
+
+import dataclasses
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(DOCS_DIR.glob("**/*.md"))
+    assert files, "no markdown files found — wrong repo root?"
+    return files
+
+
+class TestDocsTreeExists:
+    @pytest.mark.parametrize("page", ["architecture.md", "cluster.md", "configuration.md"])
+    def test_docs_pages_exist(self, page):
+        assert (DOCS_DIR / page).is_file()
+
+    def test_readme_links_every_docs_page(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for page in ("docs/architecture.md", "docs/cluster.md", "docs/configuration.md"):
+            assert page in readme, f"README does not link {page}"
+
+
+class TestMarkdownLinks:
+    def test_intra_repo_links_resolve(self):
+        broken = []
+        for md_file in markdown_files():
+            for target in _LINK_RE.findall(md_file.read_text()):
+                if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md_file.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(f"{md_file.relative_to(REPO_ROOT)}: {target}")
+        assert not broken, "broken intra-repo markdown links:\n" + "\n".join(broken)
+
+    def test_checker_catches_broken_links(self, tmp_path):
+        # Sanity-check the checker itself: a link to a missing file must trip it.
+        page = tmp_path / "page.md"
+        page.write_text("[gone](missing.md)")
+        target = _LINK_RE.findall(page.read_text())[0]
+        assert not (page.parent / target).exists()
+
+
+class TestConfigReferenceCompleteness:
+    """docs/configuration.md must list exactly the dataclass fields."""
+
+    DOCUMENTED_CLASSES = [ServingSimConfig, ClusterConfig, ReplicaSpec, AutoscaleConfig]
+
+    @staticmethod
+    def table_fields(section_name):
+        """First-column code spans of the table under ``## `section_name```."""
+        text = (DOCS_DIR / "configuration.md").read_text()
+        pattern = re.compile(rf"^## `{re.escape(section_name)}`$(.*?)(?=^## |\Z)",
+                             re.M | re.S)
+        match = pattern.search(text)
+        assert match, f"configuration.md has no section for {section_name}"
+        fields = set()
+        for line in match.group(1).splitlines():
+            cell = re.match(r"\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|", line)
+            if cell:
+                fields.add(cell.group(1))
+        return fields
+
+    @pytest.mark.parametrize("config_class", DOCUMENTED_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_table_matches_dataclass(self, config_class):
+        documented = self.table_fields(config_class.__name__)
+        actual = {f.name for f in dataclasses.fields(config_class)}
+        missing = actual - documented
+        stale = documented - actual
+        assert not missing, (f"{config_class.__name__} fields missing from "
+                             f"docs/configuration.md: {sorted(missing)}")
+        assert not stale, (f"docs/configuration.md documents fields "
+                           f"{config_class.__name__} no longer has: {sorted(stale)}")
+
+
+class TestReadmeClusterCommands:
+    """The README's documented cluster CLI invocations must keep working."""
+
+    @staticmethod
+    def readme_cluster_commands():
+        readme = (REPO_ROOT / "README.md").read_text()
+        commands = []
+        for block in re.findall(r"```bash\n(.*?)```", readme, re.S):
+            joined = block.replace("\\\n", " ")
+            for line in joined.splitlines():
+                line = line.strip()
+                if line.startswith("python -m repro.cli cluster"):
+                    commands.append(shlex.split(line)[3:])  # drop python -m repro.cli
+        return commands
+
+    def test_readme_documents_replica_spec_and_autoscale(self):
+        commands = self.readme_cluster_commands()
+        flat = [flag for command in commands for flag in command]
+        assert "--replica-spec" in flat, "README quickstart lost its --replica-spec example"
+        assert "--autoscale" in flat, "README quickstart lost its --autoscale example"
+
+    def test_documented_cluster_commands_run(self, capsys):
+        commands = self.readme_cluster_commands()
+        assert commands, "README quickstart has no cluster CLI examples"
+        for argv in commands:
+            assert cli_main(argv) == 0, f"documented command failed: {argv}"
+            out = capsys.readouterr().out
+            assert "requests finished" in out
