@@ -9,7 +9,9 @@ produces the artifact's three outputs: a standard-output summary plus the
 ``*-throughput.tsv`` and ``*-simulation-time.tsv`` files.
 
 The ``cluster`` subcommand serves the trace across a multi-replica cluster
-behind a routing policy instead of a single system::
+behind a routing policy instead of a single system (``--backend
+process-pool`` fans the replica simulations out across worker processes,
+``--iteration-reuse`` enables iteration-level memoization)::
 
     llmservingsim cluster --replicas 4 --routing least-outstanding \
         --model-name gpt3-7b --npu-num 4 --num-requests 64 --arrival poisson-burst
@@ -23,6 +25,12 @@ an autoscaler over the fleet::
         --replica-spec count=2,npu_num=1,name=small \
         --replica-spec count=2,npu_num=4,name=large \
         --autoscale 2:4 --arrival diurnal --num-requests 64 --rate 8
+
+The ``bench`` subcommand runs the tracked performance matrix (serial vs
+process-pool backends, iteration-reuse on/off) and writes the
+``BENCH_cluster.json`` report CI archives per commit::
+
+    llmservingsim bench --quick --output BENCH_cluster.json
 """
 
 from __future__ import annotations
@@ -33,15 +41,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from .cluster import ClusterSimulator, available_routers
+from .cluster import ClusterSimulator, available_backends, available_routers
 from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
 from .core.simulator import LLMServingSim
 from .graph.parallelism import ParallelismStrategy
 from .workload.generator import generate_trace
 from .workload.trace_io import read_trace
 
-__all__ = ["build_parser", "build_cluster_parser", "main", "cluster_main",
-           "parse_replica_spec", "parse_autoscale_bounds"]
+__all__ = ["build_parser", "build_cluster_parser", "build_bench_parser", "main",
+           "cluster_main", "bench_main", "parse_replica_spec", "parse_autoscale_bounds"]
 
 ARRIVAL_CHOICES = ["poisson", "burst", "poisson-burst", "diurnal"]
 
@@ -171,6 +179,14 @@ def build_cluster_parser() -> argparse.ArgumentParser:
                              "--replica-spec is given)")
     parser.add_argument("--routing", choices=available_routers(), default="round-robin",
                         help="request routing policy")
+    parser.add_argument("--backend", choices=available_backends(), default="serial",
+                        help="execution backend: 'serial' steps replicas "
+                             "in-process, 'process-pool' fans them out "
+                             "across worker processes (bit-identical results)")
+    parser.add_argument("--iteration-reuse", action="store_true",
+                        help="enable iteration-level memoization (replay "
+                             "latencies of previously simulated iteration "
+                             "signatures; shared per replica class)")
     parser.add_argument("--replica-spec", action="append", default=[],
                         metavar="FIELD=VALUE[,...]",
                         help="add a replica class: comma-separated ServingSimConfig "
@@ -210,6 +226,7 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         scheduling=args.scheduling,
         parallel=ParallelismStrategy(args.parallel),
         kv_manage=args.kv_manage,
+        enable_iteration_reuse=args.iteration_reuse,
         seed=args.seed,
     )
     try:
@@ -230,6 +247,7 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         )
 
     config = ClusterConfig(num_replicas=args.replicas, routing=args.routing,
+                           execution_backend=args.backend,
                            replica=base_config, replicas=specs or None,
                            autoscale=autoscale, ttft_slo=args.ttft_slo,
                            e2e_slo=args.e2e_slo)
@@ -248,6 +266,12 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
     print(f"model                 : {base_config.model_name}")
     print(f"cluster               : {config.num_replicas} replica(s) [{fleet}], "
           f"{result.routing} routing")
+    print(f"backend               : {config.execution_backend}")
+    hits = sum(r.iteration_cache_hits for r in result.replica_results)
+    misses = sum(r.iteration_cache_misses for r in result.replica_results)
+    if hits + misses:
+        print(f"iteration cache       : {hits}/{hits + misses} lookups hit "
+              f"({hits / (hits + misses):.1%})")
     for row in result.summary_rows():
         print(f"{row[0]:<22}: {row[1]}")
     if result.scaling_timeline:
@@ -259,17 +283,88 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``bench`` subcommand."""
+    from .bench import BENCH_SCENARIOS, SPEEDUP_SCENARIO
+    parser = argparse.ArgumentParser(
+        prog="llmservingsim bench",
+        description="Run the tracked cluster-simulation performance matrix "
+                    "and emit a BENCH_cluster.json report")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink every scenario for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_cluster.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--scenario", action="append", default=[],
+                        choices=[s.name for s in BENCH_SCENARIOS],
+                        help="run only the named scenario (repeatable; "
+                             "default: the whole matrix)")
+    parser.add_argument("--fail-below-speedup", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit non-zero unless the process-pool backend "
+                             f"reaches RATIO x serial wall-clock on the "
+                             f"{SPEEDUP_SCENARIO!r} scenario (skipped on "
+                             "hosts with too few cores)")
+    return parser
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``bench`` subcommand; returns a process exit code."""
+    from .bench import SPEEDUP_SCENARIO, check_speedup, run_bench, write_report
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+    if (args.fail_below_speedup is not None and args.scenario
+            and SPEEDUP_SCENARIO not in args.scenario):
+        parser.error(f"--fail-below-speedup gates the {SPEEDUP_SCENARIO!r} "
+                     f"scenario, which --scenario excluded from this run")
+
+    report = run_bench(quick=args.quick, only=args.scenario or None)
+    print(f"host                  : {report['host']['cpu_count']} core(s), "
+          f"python {report['host']['python']}")
+    for entry in report["scenarios"]:
+        print(f"scenario              : {entry['name']} "
+              f"({entry['num_requests']} requests)")
+        if "backends" in entry:
+            for backend, stats in entry["backends"].items():
+                print(f"  {backend:<20}: {stats['wall_seconds']:.2f} s wall, "
+                      f"{stats['iterations']} iterations")
+            print(f"  speedup             : {entry['speedup']:.2f}x "
+                  f"(bit-identical: {entry['bit_identical']})")
+        if "reuse" in entry:
+            for arm, stats in entry["reuse"].items():
+                print(f"  {arm:<20}: {stats['wall_seconds']:.2f} s wall, "
+                      f"{stats['modeled_simulation_seconds']:.1f} s modeled")
+            print(f"  hit rate            : {entry['hit_rate']:.1%} "
+                  f"(modeled speedup {entry['modeled_speedup']:.2f}x, "
+                  f"bit-identical: {entry['bit_identical']})")
+
+    path = write_report(report, args.output)
+    print(f"wrote {path}")
+
+    broken = [e["name"] for e in report["scenarios"] if not e.get("bit_identical", True)]
+    if broken:
+        print(f"ERROR: non-deterministic scenario(s): {', '.join(broken)}")
+        return 1
+    if args.fail_below_speedup is not None:
+        ok, message = check_speedup(report, args.fail_below_speedup)
+        print(("OK: " if ok else "ERROR: ") + message)
+        if not ok:
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    ``main(["cluster", ...])`` dispatches to the cluster subcommand; any
-    other invocation keeps the artifact's original flat single-system
-    interface.
+    ``main(["cluster", ...])`` dispatches to the cluster subcommand and
+    ``main(["bench", ...])`` to the performance harness; any other
+    invocation keeps the artifact's original flat single-system interface.
     """
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "cluster":
         return cluster_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     config = ServingSimConfig(

@@ -6,6 +6,9 @@ against the arrival-rate curve with warm-up and drain semantics.
 """
 
 from .autoscaler import Autoscaler, ReplicaLifecycle, ScalingEvent
+from .backend import (ExecutionBackend, ProcessPoolBackend, ReplicaLoadSnapshot,
+                      SerialBackend, available_backends, build_backend,
+                      register_backend)
 from .results import ClusterResult
 from .router import (LeastKVUtilizationRouter, LeastOutstandingRouter, ReplicaView,
                      RequestRouter, RoundRobinRouter, SLOTTFTRouter,
@@ -19,5 +22,7 @@ __all__ = [
     "LeastKVUtilizationRouter", "SLOTTFTRouter", "WeightedCapacityRouter",
     "available_routers", "build_router", "register_router", "routable_indices",
     "Autoscaler", "ReplicaLifecycle", "ScalingEvent",
+    "ExecutionBackend", "SerialBackend", "ProcessPoolBackend", "ReplicaLoadSnapshot",
+    "available_backends", "build_backend", "register_backend",
     "ClusterSimulator", "Replica", "estimate_device_throughput",
 ]

@@ -1,0 +1,323 @@
+"""Pluggable execution backends for the cluster simulation loop.
+
+:class:`~repro.cluster.simulator.ClusterSimulator` interleaves its replicas
+on arrival boundaries: between two arrivals every replica is advanced
+independently until its local clock catches up.  Those advances are
+embarrassingly parallel — replicas only interact through the router, which
+runs between them — so this module factors *how* they execute behind an
+:class:`ExecutionBackend`:
+
+* :class:`SerialBackend` (``"serial"``) steps every replica in-process, in
+  index order.  This is the reference implementation.
+* :class:`ProcessPoolBackend` (``"process-pool"``) hosts each replica in a
+  persistent worker process.  The master broadcasts
+  ``advance_until``/``submit``/``drain`` commands over pipes and gathers a
+  compact :class:`ReplicaLoadSnapshot` per reply — exactly the load view
+  the routing policies observe — so routing, autoscaling and lifecycle
+  management stay in the master while the expensive per-iteration
+  simulation fans out across cores.
+
+Both backends produce **bit-identical** simulation results: the per-replica
+simulations are deterministic and the router sees the same load views at
+the same points of the arrival loop.  The only observable difference is
+simulator-side accounting when iteration-level reuse is enabled — the
+serial backend shares one reuse cache per replica class, while worker
+processes keep private caches, so *hit counters* (never latencies) can
+differ between backends.
+
+Backends are registered by name like routing policies, so experiments can
+plug in alternatives (e.g. a thread pool for a GIL-free interpreter)
+through :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..core.results import ServingResult
+from ..workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .simulator import Replica
+
+__all__ = ["ReplicaLoadSnapshot", "ExecutionBackend", "SerialBackend",
+           "ProcessPoolBackend", "available_backends", "build_backend",
+           "register_backend"]
+
+
+@dataclass(frozen=True)
+class ReplicaLoadSnapshot:
+    """Compact, picklable load view of one replica at a sync point.
+
+    Carries every *dynamic* signal of the
+    :class:`~repro.cluster.router.ReplicaView` protocol (static capability
+    signals live on the master-side replica, derived from its
+    configuration) plus the progress counters the cluster loop needs.
+    """
+
+    clock: float
+    has_work: bool
+    outstanding_requests: int
+    kv_utilization: float
+    iterations_run: int
+    latency_sum: float
+
+
+def snapshot_replica(replica: "Replica") -> ReplicaLoadSnapshot:
+    """Capture a replica's dynamic load state (used by both backends)."""
+    return ReplicaLoadSnapshot(
+        clock=replica.clock,
+        has_work=replica.has_work,
+        outstanding_requests=replica.outstanding_requests,
+        kv_utilization=replica.kv_utilization,
+        iterations_run=replica.iterations_run,
+        latency_sum=replica.latency_sum,
+    )
+
+
+def _drain_replica(replica: "Replica", max_iterations: Optional[int]) -> None:
+    """Step a replica until it runs dry or hits the iteration cap."""
+    while replica.has_work:
+        if max_iterations is not None and replica.iterations_run >= max_iterations:
+            break
+        if not replica.step():
+            break
+
+
+class ExecutionBackend:
+    """How the cluster loop executes its independent replica simulations.
+
+    A backend is bound to the master's replica list once per run and then
+    driven through the arrival loop: ``advance_all`` between arrivals,
+    ``submit`` after routing, ``drain_all`` once every request is placed,
+    ``collect_results`` for the per-replica outcomes, ``close`` for
+    teardown.  Implementations must keep each master replica's load view
+    current (the router reads it right after ``advance_all``).
+    """
+
+    name = "base"
+
+    def bind(self, replicas: Sequence["Replica"]) -> None:
+        raise NotImplementedError
+
+    def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
+        """Advance every replica until its clock reaches ``time``."""
+        raise NotImplementedError
+
+    def submit(self, index: int, request: Request) -> None:
+        """Hand a routed request to one replica."""
+        raise NotImplementedError
+
+    def drain_all(self, max_iterations: Optional[int] = None) -> None:
+        """Run every replica until it has no work left (or hits the cap)."""
+        raise NotImplementedError
+
+    def collect_results(self) -> List[ServingResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; must be idempotent."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Step replicas one after another in the master process (reference)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._replicas: List["Replica"] = []
+
+    def bind(self, replicas: Sequence["Replica"]) -> None:
+        self._replicas = list(replicas)
+
+    def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
+        for replica in self._replicas:
+            replica.advance_until(time, max_iterations)
+
+    def submit(self, index: int, request: Request) -> None:
+        self._replicas[index].submit(request)
+
+    def drain_all(self, max_iterations: Optional[int] = None) -> None:
+        for replica in self._replicas:
+            _drain_replica(replica, max_iterations)
+
+    def collect_results(self) -> List[ServingResult]:
+        return [replica.simulator.collect_result() for replica in self._replicas]
+
+
+def _replica_worker_main(conn, config, replica_id: int, class_name: str) -> None:
+    """Command loop of one persistent replica worker process.
+
+    Builds a fresh replica from its configuration (state must start clean
+    regardless of the start method) and serves commands until ``close`` or
+    the pipe drops.  Replies are ``("ok", payload)`` or ``("error",
+    traceback_text)``; the master re-raises the latter.
+    """
+    from ..core.simulator import LLMServingSim
+    from .simulator import Replica
+
+    try:
+        replica = Replica(replica_id, LLMServingSim(config), class_name=class_name)
+    except Exception:  # pragma: no cover - construction mirrors the master's
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            try:
+                if command == "advance":
+                    replica.advance_until(message[1], message[2])
+                    conn.send(("ok", snapshot_replica(replica)))
+                elif command == "submit":
+                    replica.submit(message[1])
+                    conn.send(("ok", snapshot_replica(replica)))
+                elif command == "drain":
+                    _drain_replica(replica, message[1])
+                    conn.send(("ok", snapshot_replica(replica)))
+                elif command == "snapshot":
+                    conn.send(("ok", snapshot_replica(replica)))
+                elif command == "collect":
+                    conn.send(("ok", replica.simulator.collect_result()))
+                elif command == "close":
+                    return
+                else:
+                    conn.send(("error", f"unknown worker command {command!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+                return
+    except (EOFError, KeyboardInterrupt):  # master went away
+        return
+    finally:
+        conn.close()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Host each replica in a persistent worker process.
+
+    The worker executes ``advance_until``/``submit`` commands received over
+    a pipe and replies with the compact :class:`ReplicaLoadSnapshot` the
+    router selects on.  ``advance_all`` and ``drain_all`` broadcast first
+    and gather second, so all replicas simulate concurrently; ``submit`` is
+    a cheap synchronous round-trip to one worker.
+
+    Worker replicas are rebuilt from their configuration, so per-class
+    iteration-reuse caches are private to each worker (see the module
+    docstring for why this only affects hit counters, not results).
+    """
+
+    name = "process-pool"
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._replicas: List["Replica"] = []
+        self._connections: list = []
+        self._processes: list = []
+
+    def bind(self, replicas: Sequence["Replica"]) -> None:
+        self.close()
+        self._replicas = list(replicas)
+        self._connections = []
+        self._processes = []
+        for replica in self._replicas:
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_replica_worker_main,
+                args=(child_conn, replica.simulator.config,
+                      replica.replica_id, replica.class_name),
+                daemon=True,
+                name=f"replica-worker-{replica.replica_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        # Detach the master replicas from their local simulators and seed
+        # their load views with the workers' pristine state.
+        self._broadcast(("snapshot",))
+
+    # -- pipe plumbing ---------------------------------------------------------
+
+    def _receive(self, index: int):
+        try:
+            status, payload = self._connections[index].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"replica worker {index} exited unexpectedly") from None
+        if status != "ok":
+            raise RuntimeError(f"replica worker {index} failed:\n{payload}")
+        return payload
+
+    def _broadcast(self, message: tuple) -> None:
+        """Send one command to every worker, then gather all snapshots."""
+        for connection in self._connections:
+            connection.send(message)
+        for index, replica in enumerate(self._replicas):
+            replica.attach_snapshot(self._receive(index))
+
+    # -- ExecutionBackend interface --------------------------------------------
+
+    def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
+        self._broadcast(("advance", time, max_iterations))
+
+    def submit(self, index: int, request: Request) -> None:
+        self._connections[index].send(("submit", request))
+        self._replicas[index].attach_snapshot(self._receive(index))
+
+    def drain_all(self, max_iterations: Optional[int] = None) -> None:
+        self._broadcast(("drain", max_iterations))
+
+    def collect_results(self) -> List[ServingResult]:
+        for connection in self._connections:
+            connection.send(("collect",))
+        return [self._receive(index) for index in range(len(self._connections))]
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+        self._connections = []
+        self._processes = []
+
+
+_BACKEND_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a custom execution backend under ``name`` (overwrites allowed)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _BACKEND_FACTORIES[name] = factory
+
+
+def available_backends() -> list:
+    """Names of all registered execution backends."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def build_backend(name: str) -> ExecutionBackend:
+    """Create a backend by name (the cluster config's ``execution_backend``)."""
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown execution backend {name!r}; "
+                         f"expected one of {available_backends()}") from None
+    return factory()

@@ -31,24 +31,31 @@ against its bounds, and contributes the scaling timeline to the result.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ClusterConfig, ServingSimConfig
 from ..core.simulator import LLMServingSim
+from ..engine.iteration_cache import IterationReuseCache
 from ..models.graph import BatchComposition, SequenceSpec, build_iteration_graph
 from ..models.layers import Phase
 from ..models.roofline import DevicePeaks
 from ..workload.generator import RequestTrace
 from ..workload.request import Request
 from .autoscaler import Autoscaler, ReplicaLifecycle
+from .backend import ExecutionBackend, ReplicaLoadSnapshot, build_backend
 from .results import ClusterResult
 from .router import RequestRouter, build_router
 
-__all__ = ["Replica", "ClusterSimulator"]
+__all__ = ["Replica", "ClusterSimulator", "estimate_device_throughput"]
 
 #: Context length used for the roofline capability estimate: long enough to
 #: be KV-dominated, short enough to represent typical serving traffic.
 _CAPABILITY_CONTEXT_TOKENS = 256
+
+#: Memoized roofline estimates keyed by the hardware/model knobs they depend
+#: on, so an N-replica fleet pays one capability graph build per replica
+#: *class* instead of one per replica.
+_THROUGHPUT_ESTIMATES: Dict[Tuple, Tuple[float, float]] = {}
 
 
 def estimate_device_throughput(config: ServingSimConfig, model) -> "tuple[float, float]":
@@ -62,55 +69,100 @@ def estimate_device_throughput(config: ServingSimConfig, model) -> "tuple[float,
     capability signal heterogeneity-aware routers weigh replicas by, and the
     latency prior the ``slo-ttft`` policy uses for replicas that have not
     measured an iteration yet.
+
+    Estimates are memoized per configuration signature (model architecture
+    plus the NPU knobs entering the roofline), so instantiating many
+    replicas of the same class builds the capability graph once.
     """
+    key = (model.name, model.num_layers, model.hidden_size, model.num_heads,
+           model.ffn_hidden_size, model.dtype_bytes, config.npu_num,
+           config.npu_config.peak_flops, config.npu_config.memory_bandwidth_gbs)
+    cached = _THROUGHPUT_ESTIMATES.get(key)
+    if cached is not None:
+        return cached
     graph = build_iteration_graph(model, BatchComposition(
         [SequenceSpec(0, _CAPABILITY_CONTEXT_TOKENS, 1, Phase.GENERATION)]))
     flops = sum(op.flops for op in graph.block_operators)
     moved = sum(op.total_bytes for op in graph.block_operators)
     if not flops or not moved:
-        return 0.0, 0.0
-    peaks = DevicePeaks(name="replica-npu",
-                        peak_tflops=config.npu_config.peak_flops / 1e12,
-                        peak_bandwidth_gbs=config.npu_config.memory_bandwidth_gbs)
-    attainable = config.npu_num * peaks.attainable_tflops(flops / moved)
-    iteration_flops = flops * model.num_layers
-    return attainable, iteration_flops / (attainable * 1e12)
+        estimate = (0.0, 0.0)
+    else:
+        peaks = DevicePeaks(name="replica-npu",
+                            peak_tflops=config.npu_config.peak_flops / 1e12,
+                            peak_bandwidth_gbs=config.npu_config.memory_bandwidth_gbs)
+        attainable = config.npu_num * peaks.attainable_tflops(flops / moved)
+        iteration_flops = flops * model.num_layers
+        estimate = (attainable, iteration_flops / (attainable * 1e12))
+    _THROUGHPUT_ESTIMATES[key] = estimate
+    return estimate
 
 
 class Replica:
-    """One serving replica plus the load view the router selects on."""
+    """One serving replica plus the load view the router selects on.
+
+    A replica normally reads its load signals straight off its in-process
+    simulator.  Under the ``process-pool`` execution backend the simulation
+    lives in a worker process instead; the backend then attaches a
+    :class:`~repro.cluster.backend.ReplicaLoadSnapshot` after every command
+    round-trip and the dynamic properties below read from it — the static
+    capability signals, lifecycle state and routing interface are identical
+    either way.
+    """
 
     def __init__(self, replica_id: int, simulator: LLMServingSim,
                  class_name: str = "default") -> None:
         self.replica_id = replica_id
         self.simulator = simulator
         self.class_name = class_name
-        self.iterations_run = 0
         self.lifecycle = ReplicaLifecycle.ACTIVE
         self.warm_at = 0.0
+        self._iterations_run = 0
         self._latency_sum = 0.0
+        self._snapshot: Optional[ReplicaLoadSnapshot] = None
         self._capability, self._estimated_latency = estimate_device_throughput(
             simulator.config, simulator.model)
+
+    def attach_snapshot(self, snapshot: ReplicaLoadSnapshot) -> None:
+        """Detach from the local simulator: serve load views from ``snapshot``."""
+        self._snapshot = snapshot
 
     # -- ReplicaView protocol (what routing policies may observe) -------------
 
     @property
     def outstanding_requests(self) -> int:
         """Requests queued or running on this replica right now."""
+        if self._snapshot is not None:
+            return self._snapshot.outstanding_requests
         scheduler = self.simulator.scheduler
         return len(scheduler.pending) + len(scheduler.running)
 
     @property
     def kv_utilization(self) -> float:
         """Fraction of this replica's KV-cache budget currently in use."""
+        if self._snapshot is not None:
+            return self._snapshot.kv_utilization
         return self.simulator.kv_manager.utilization()
+
+    @property
+    def iterations_run(self) -> int:
+        """Iterations this replica has simulated so far."""
+        if self._snapshot is not None:
+            return self._snapshot.iterations_run
+        return self._iterations_run
+
+    @property
+    def latency_sum(self) -> float:
+        """Total simulated seconds across this replica's iterations."""
+        if self._snapshot is not None:
+            return self._snapshot.latency_sum
+        return self._latency_sum
 
     @property
     def mean_iteration_latency(self) -> float:
         """Measured seconds per serving iteration (0.0 before the first one)."""
         if self.iterations_run == 0:
             return 0.0
-        return self._latency_sum / self.iterations_run
+        return self.latency_sum / self.iterations_run
 
     @property
     def device_throughput_tflops(self) -> float:
@@ -171,10 +223,14 @@ class Replica:
 
     @property
     def clock(self) -> float:
+        if self._snapshot is not None:
+            return self._snapshot.clock
         return self.simulator.clock
 
     @property
     def has_work(self) -> bool:
+        if self._snapshot is not None:
+            return self._snapshot.has_work
         return self.simulator.has_work
 
     def submit(self, request: Request) -> None:
@@ -185,7 +241,7 @@ class Replica:
         record = self.simulator.step()
         if record is None:
             return False
-        self.iterations_run += 1
+        self._iterations_run += 1
         self._latency_sum += record.latency
         return True
 
@@ -213,17 +269,37 @@ class ClusterSimulator:
         The autoscaler, by contrast, is always built here from
         ``config.autoscale`` — it must be bound to this simulator's replica
         list, so it cannot be meaningfully pre-built by the caller.
+    backend:
+        Optional pre-built execution backend; defaults to the backend named
+        by ``config.execution_backend`` (``"serial"`` or ``"process-pool"``,
+        plus anything registered through
+        :func:`repro.cluster.register_backend`).
+
+    Replicas of the same class whose configuration enables
+    ``enable_iteration_reuse`` share one iteration-level reuse cache
+    (``iteration_caches``, keyed by class name): a decode iteration
+    simulated on one replica is a cache hit on every sibling.  Worker
+    processes of the ``process-pool`` backend rebuild their replicas and
+    therefore keep private caches — hit *counters* may differ from the
+    serial backend, simulated results never do.
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 router: Optional[RequestRouter] = None) -> None:
+                 router: Optional[RequestRouter] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.config = config or ClusterConfig()
         self.router = router or build_router(self.config.routing)
-        self.replicas: List[Replica] = [
-            Replica(i, LLMServingSim(replica_config), class_name=class_name)
-            for i, (class_name, replica_config)
-            in enumerate(self.config.expanded_replicas())
-        ]
+        self.backend = backend or build_backend(self.config.execution_backend)
+        self.iteration_caches: Dict[str, IterationReuseCache] = {}
+        self.replicas: List[Replica] = []
+        for i, (class_name, replica_config) in enumerate(self.config.expanded_replicas()):
+            cache = None
+            if replica_config.enable_iteration_reuse:
+                cache = self.iteration_caches.setdefault(class_name,
+                                                         IterationReuseCache())
+            self.replicas.append(Replica(
+                i, LLMServingSim(replica_config, iteration_cache=cache),
+                class_name=class_name))
         self.autoscaler: Optional[Autoscaler] = (
             Autoscaler(self.config.autoscale, self.replicas)
             if self.config.autoscale is not None else None)
@@ -253,42 +329,50 @@ class ClusterSimulator:
                     else list(workload))
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))
 
-        for request in requests:
-            # Catch every replica up to this arrival so load-aware policies
-            # see current queue depth and KV occupancy; refresh lifecycles
-            # (warm-ups that elapsed, drains that completed), let the
-            # autoscaler react to the arrival, then route.
-            now = request.arrival_time
-            for replica in self.replicas:
-                replica.advance_until(now, max_iterations_per_replica)
-                replica.update_lifecycle(now)
-            if self.autoscaler is not None:
-                self.autoscaler.observe_arrival(now)
-            index = self.router.select(self.replicas, request)
-            if not 0 <= index < len(self.replicas):
-                raise ValueError(f"router {self.router.name!r} chose invalid "
-                                 f"replica index {index}")
-            if not self.replicas[index].is_routable:
-                raise ValueError(f"router {self.router.name!r} chose replica "
-                                 f"{index}, which is "
-                                 f"{self.replicas[index].lifecycle.value} and "
-                                 f"may not accept routes")
-            self.replicas[index].submit(request)
-            self.assignments[request.request_id] = index
+        backend = self.backend
+        backend.bind(self.replicas)
+        try:
+            for request in requests:
+                # Catch every replica up to this arrival so load-aware
+                # policies see current queue depth and KV occupancy (the
+                # backend may fan the advances out across processes);
+                # refresh lifecycles (warm-ups that elapsed, drains that
+                # completed), let the autoscaler react to the arrival, then
+                # route.
+                now = request.arrival_time
+                backend.advance_all(now, max_iterations_per_replica)
+                for replica in self.replicas:
+                    replica.update_lifecycle(now)
+                if self.autoscaler is not None:
+                    self.autoscaler.observe_arrival(now)
+                index = self.router.select(self.replicas, request)
+                if not 0 <= index < len(self.replicas):
+                    raise ValueError(f"router {self.router.name!r} chose invalid "
+                                     f"replica index {index}")
+                if not self.replicas[index].is_routable:
+                    raise ValueError(f"router {self.router.name!r} chose replica "
+                                     f"{index}, which is "
+                                     f"{self.replicas[index].lifecycle.value} and "
+                                     f"may not accept routes")
+                backend.submit(index, request)
+                self.assignments[request.request_id] = index
 
-        # All requests are placed: drain every replica (including replicas
-        # the autoscaler put into DRAINING — their requests still finish).
-        for replica in self.replicas:
-            while replica.has_work:
-                if (max_iterations_per_replica is not None
-                        and replica.iterations_run >= max_iterations_per_replica):
-                    break
-                if not replica.step():
-                    break
+            # All requests are placed: drain every replica (including
+            # replicas the autoscaler put into DRAINING — their requests
+            # still finish), then refresh lifecycles one last time so
+            # draining replicas that ran dry are recorded as STOPPED
+            # instead of lingering in DRAINING forever.
+            backend.drain_all(max_iterations_per_replica)
+            for replica in self.replicas:
+                replica.update_lifecycle(replica.clock)
+
+            replica_results = backend.collect_results()
+        finally:
+            backend.close()
 
         return ClusterResult(
             routing=self.router.name,
-            replica_results=[r.simulator.collect_result() for r in self.replicas],
+            replica_results=replica_results,
             assignments=dict(self.assignments),
             replica_classes=[r.class_name for r in self.replicas],
             scaling_timeline=(list(self.autoscaler.events)

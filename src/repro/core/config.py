@@ -63,6 +63,15 @@ class ServingSimConfig:
         Number of sub-batches when interleaving is enabled.
     enable_block_reuse / enable_computation_reuse:
         The two fast-simulation techniques of Section IV-C.
+    enable_iteration_reuse:
+        Iteration-level memoization: skip the whole simulation pipeline
+        (graph build, engine stack, converter, system sim) for iterations
+        whose signature — batch phases/context lengths, memory events,
+        sub-batch partitioning — was simulated before.  Hits replay exact
+        latencies, so simulated serving behaviour is unchanged; only the
+        simulation-time accounting reflects the saved work.  Off by default
+        because the simulation-time experiments (Figures 8-10) study the
+        operator-level techniques in isolation.
     graph_granularity:
         Execution-graph detail level.
     npu_config / pim_config / network:
@@ -92,6 +101,7 @@ class ServingSimConfig:
     num_sub_batches: int = 2
     enable_block_reuse: bool = True
     enable_computation_reuse: bool = True
+    enable_iteration_reuse: bool = False
     graph_granularity: GraphGranularity = GraphGranularity.OPERATOR
     npu_config: NPUConfig = field(default_factory=lambda: TABLE1_NPU)
     pim_config: PIMConfig = field(default_factory=lambda: TABLE1_PIM)
@@ -247,6 +257,13 @@ class ClusterConfig:
         ``replicas`` when that list is given).
     routing:
         Name of the request-routing policy.
+    execution_backend:
+        How replica simulations are executed by
+        :class:`~repro.cluster.simulator.ClusterSimulator`: ``"serial"``
+        steps replicas in-process, ``"process-pool"`` hosts each replica in
+        a persistent worker process and fans out the between-arrival
+        advances in parallel.  Both produce bit-identical results; names
+        are resolved by :func:`repro.cluster.build_backend`.
     replica:
         Configuration template every replica is built from (single-template
         sugar; ignored when ``replicas`` is set).
@@ -265,6 +282,7 @@ class ClusterConfig:
 
     num_replicas: int = 2
     routing: str = "round-robin"
+    execution_backend: str = "serial"
     replica: ServingSimConfig = field(default_factory=ServingSimConfig)
     replicas: Optional[List[ReplicaSpec]] = None
     autoscale: Optional[AutoscaleConfig] = None
@@ -280,6 +298,8 @@ class ClusterConfig:
             raise ValueError("num_replicas must be positive")
         if not self.routing:
             raise ValueError("routing policy name must be non-empty")
+        if not self.execution_backend:
+            raise ValueError("execution backend name must be non-empty")
         if self.autoscale is not None:
             if self.autoscale.min_replicas > self.num_replicas:
                 raise ValueError("autoscale.min_replicas exceeds the fleet size")

@@ -67,13 +67,30 @@ class ThroughputPoint:
 
 @dataclass
 class ServingResult:
-    """Full outcome of a serving simulation run."""
+    """Full outcome of a serving simulation run.
+
+    ``iteration_cache_hits`` / ``iteration_cache_misses`` count this run's
+    lookups in the iteration-level reuse cache (both stay 0 when
+    ``enable_iteration_reuse`` is off).  They describe *simulator* work
+    saved, never simulated serving behaviour: a hit replays the exact
+    latency the full pipeline would have produced.
+    """
 
     model_name: str
     requests: List[Request] = field(default_factory=list)
     iterations: List[IterationRecord] = field(default_factory=list)
     measured_simulation_time: ComponentTimes = field(default_factory=ComponentTimes)
     modeled_simulation_time: ComponentTimes = field(default_factory=ComponentTimes)
+    iteration_cache_hits: int = 0
+    iteration_cache_misses: int = 0
+
+    @property
+    def iteration_cache_hit_rate(self) -> float:
+        """Fraction of iteration-cache lookups that hit (0.0 when unused)."""
+        lookups = self.iteration_cache_hits + self.iteration_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.iteration_cache_hits / lookups
 
     # -- aggregate serving metrics --------------------------------------------
 

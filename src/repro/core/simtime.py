@@ -71,6 +71,10 @@ class SimTimeCalibration:
         phases of each collective.
     system_seconds_base:
         Fixed ASTRA-sim start-up cost per iteration.
+    iteration_cache_hit_seconds:
+        Cost of serving a whole iteration from the iteration-level reuse
+        cache: one signature hash and dictionary lookup instead of the
+        engine stack, graph converter and system simulation.
     """
 
     compile_seconds_per_operator: float = 0.012
@@ -83,6 +87,7 @@ class SimTimeCalibration:
     system_seconds_per_node: float = 0.0004
     system_seconds_per_collective_participant: float = 0.001
     system_seconds_base: float = 8.0
+    iteration_cache_hit_seconds: float = 0.02
 
 
 @dataclass
@@ -121,6 +126,7 @@ class SimTimeTracker:
         self.measured = ComponentTimes()
         self.modeled = ComponentTimes()
         self.iterations = 0
+        self.iteration_cache_hits = 0
 
     # -- measured wall clock ---------------------------------------------------
 
@@ -159,4 +165,22 @@ class SimTimeTracker:
             + cal.system_seconds_per_collective_participant * graph_stats.collective_participants)
         self.modeled.add(iteration)
         self.iterations += 1
+        return iteration
+
+    def account_cached_iteration(self, num_requests: int) -> ComponentTimes:
+        """Account one iteration served from the iteration-level reuse cache.
+
+        The scheduler still did its full work (it formed the plan), but the
+        engine stack, graph converter and system simulation were all replaced
+        by a single cache lookup, modeled by
+        :attr:`SimTimeCalibration.iteration_cache_hit_seconds`.
+        """
+        cal = self.calibration
+        iteration = ComponentTimes()
+        iteration.scheduler = (cal.scheduler_seconds_per_iteration
+                               + cal.scheduler_seconds_per_request * num_requests)
+        iteration.engine = cal.iteration_cache_hit_seconds
+        self.modeled.add(iteration)
+        self.iterations += 1
+        self.iteration_cache_hits += 1
         return iteration

@@ -19,11 +19,13 @@ workflow of Figure 4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..engine.cache import SimulationCache
 from ..engine.compiler import CompilerModel
+from ..engine.iteration_cache import (IterationCacheEntry, IterationReuseCache,
+                                      iteration_signature)
 from ..engine.mapping import build_mapper
 from ..engine.npu import NPUEngine
 from ..engine.pim import PIMEngine
@@ -60,9 +62,17 @@ class LLMServingSim:
         graph converter, system simulator) are constructed from it and can be
         inspected or replaced before calling :meth:`run` — e.g. to plug in a
         custom accelerator engine via ``engine_stack.register_engine``.
+    iteration_cache:
+        Optional externally-owned iteration-level reuse cache.  Latencies
+        memoized there depend on the full serving configuration, so a cache
+        must only be shared between simulators built from the *same*
+        configuration — the cluster layer shares one per replica class.
+        ``None`` creates a private cache when
+        ``config.enable_iteration_reuse`` is set.
     """
 
-    def __init__(self, config: Optional[ServingSimConfig] = None) -> None:
+    def __init__(self, config: Optional[ServingSimConfig] = None,
+                 iteration_cache: Optional[IterationReuseCache] = None) -> None:
         self.config = config or ServingSimConfig()
         cfg = self.config
 
@@ -101,6 +111,12 @@ class LLMServingSim:
         self.system_simulator = SystemSimulator(self.topology, NetworkModel(cfg.network))
         self.partitioner = (SubBatchPartitioner(cfg.num_sub_batches)
                             if cfg.sub_batch else None)
+        if iteration_cache is not None:
+            self.iteration_cache: Optional[IterationReuseCache] = iteration_cache
+        elif cfg.enable_iteration_reuse:
+            self.iteration_cache = IterationReuseCache()
+        else:
+            self.iteration_cache = None
         self.simtime = SimTimeTracker(cfg.calibration)
         self.result = ServingResult(model_name=self.model.name)
 
@@ -220,8 +236,30 @@ class LLMServingSim:
         return self.simulate_iteration_latency(plan)
 
     def simulate_iteration_latency(self, plan: IterationPlan) -> float:
-        """Run the engine stack, graph converter and system simulator for one plan."""
+        """Run the engine stack, graph converter and system simulator for one plan.
+
+        With iteration-level reuse enabled, a plan whose signature (batch
+        phases/context lengths, memory events, sub-batch partitioning) was
+        simulated before short-circuits the whole pipeline and replays the
+        memoized latency — which is exact, because the pipeline is a
+        deterministic function of the signature for a fixed configuration.
+        """
         batch = plan.batch
+
+        signature = None
+        if self.iteration_cache is not None and self.iteration_cache.enabled:
+            num_sub_batches = (self.partitioner.num_sub_batches
+                               if self.partitioner is not None else 1)
+            signature = iteration_signature(batch, plan.memory_events, num_sub_batches)
+            entry = self.iteration_cache.lookup(signature)
+            if entry is not None:
+                self.simtime.account_cached_iteration(plan.num_requests)
+                self.result.iteration_cache_hits += 1
+                self.last_system_result = None
+                self.last_engine_report = replace(entry.engine_report,
+                                                  served_from_iteration_cache=True)
+                return entry.latency
+            self.result.iteration_cache_misses += 1
 
         if self.partitioner is not None:
             sub_batches = self.partitioner.partition(batch)
@@ -257,4 +295,7 @@ class LLMServingSim:
                                        plan.num_requests)
         self.last_system_result = system_result
         self.last_engine_report = stack_result.report
+        if signature is not None:
+            self.iteration_cache.store(signature, IterationCacheEntry(
+                latency=system_result.makespan, engine_report=stack_result.report))
         return system_result.makespan

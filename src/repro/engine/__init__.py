@@ -4,6 +4,8 @@ from .base import ExecutionEngine, OperatorEstimate
 from .cache import CacheStats, SimulationCache
 from .compiler import CompileReport, CompilerModel
 from .gpu import GPUConfig, GPUEngine, RTX3090_GPU
+from .iteration_cache import (IterationCacheEntry, IterationCacheStats,
+                              IterationReuseCache, iteration_signature)
 from .mapping import (HeterogeneousMapper, HomogeneousMapper, MappingDecision,
                       OperatorMapper, build_mapper)
 from .npu import NPUConfig, NPUEngine, TABLE1_NPU
@@ -17,6 +19,8 @@ __all__ = [
     "CacheStats", "SimulationCache",
     "CompileReport", "CompilerModel",
     "GPUConfig", "GPUEngine", "RTX3090_GPU",
+    "IterationCacheEntry", "IterationCacheStats", "IterationReuseCache",
+    "iteration_signature",
     "HeterogeneousMapper", "HomogeneousMapper", "MappingDecision", "OperatorMapper", "build_mapper",
     "NPUConfig", "NPUEngine", "TABLE1_NPU",
     "GreedyOperatorScheduler", "OperatorSchedule", "ScheduledOperator",

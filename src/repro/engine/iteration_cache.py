@@ -1,0 +1,147 @@
+"""Iteration-level memoization: reuse whole-iteration simulation results.
+
+The operator-level :class:`~repro.engine.cache.SimulationCache` reuses the
+hardware estimate of *one operator*; this module lifts the paper's
+computation-reuse idea one level up the hierarchy.  Serving workloads are
+highly repetitive at iteration granularity: in steady-state decode the same
+batch geometry (phases, context lengths, memory traffic) recurs across
+requests, across batch waves and — in a cluster — across same-class
+replicas.  When an iteration's *signature* has been simulated before, the
+entire pipeline behind the scheduler (iteration-graph build, engine stack,
+graph converter, system simulation) can be skipped and the memoized latency
+replayed.
+
+The signature deliberately excludes request identifiers: two iterations with
+the same per-sequence ``(phase, context_length, new_tokens)`` composition,
+the same KV-migration traffic and the same sub-batch partitioning produce
+bit-identical execution graphs and therefore bit-identical latencies, no
+matter which requests they serve.  That makes a hit *exact*, not
+approximate — memoization on/off changes simulation wall-clock, never the
+simulated serving behaviour.
+
+One cache serves one hardware/software configuration: latencies depend on
+the full :class:`~repro.core.config.ServingSimConfig`, so a cache may only
+be shared between simulators built from the same configuration (the cluster
+layer shares one cache per :class:`~repro.core.config.ReplicaSpec` class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..models.graph import BatchComposition
+from ..scheduler.kv_cache import KVMemoryEvent
+from .stack import EngineStackReport
+
+__all__ = ["IterationCacheStats", "IterationCacheEntry", "IterationReuseCache",
+           "iteration_signature"]
+
+
+def iteration_signature(batch: BatchComposition,
+                        memory_events: Sequence[KVMemoryEvent] = (),
+                        num_sub_batches: int = 1) -> Tuple:
+    """Hashable signature of one iteration's simulation input.
+
+    Captures everything the engine stack, graph converter and system
+    simulator see (for a fixed serving configuration):
+
+    * the batch composition — per-sequence ``(phase, context_length,
+      new_tokens)`` in batch order, *without* request ids;
+    * the KV migration traffic — per-event ``(kind, bytes)`` in order,
+      again without request ids (the converter sizes memory operators by
+      payload, not by owner);
+    * the sub-batch partitioning degree (the partition itself is a
+      deterministic function of the batch and this count).
+    """
+    return (
+        tuple((s.phase.value, s.context_length, s.new_tokens)
+              for s in batch.sequences),
+        tuple((e.event_type.value, e.num_bytes) for e in memory_events),
+        num_sub_batches,
+    )
+
+
+@dataclass
+class IterationCacheStats:
+    """Hit/miss counters of the iteration-level cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass(frozen=True)
+class IterationCacheEntry:
+    """Memoized outcome of simulating one iteration signature.
+
+    ``latency`` is the system simulator's makespan (independent of the
+    scheduler clock the iteration started at); ``engine_report`` is the
+    engine stack's work accounting from the original simulation, kept so a
+    hit can still expose what the simulated iteration looked like.
+    """
+
+    latency: float
+    engine_report: EngineStackReport
+
+
+class IterationReuseCache:
+    """Memoizes whole-iteration latencies per iteration signature.
+
+    Parameters
+    ----------
+    enabled:
+        When False every lookup misses and nothing is stored.  Simulators
+        with reuse disabled simply carry no cache at all; the flag exists
+        for externally-injected caches (e.g. flipping one shared cache off
+        mid-experiment without rebuilding the fleet).
+    max_entries:
+        Optional bound on cached signatures; the oldest entry is evicted
+        once full (insertion-ordered dict, like the operator-level cache).
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive when given")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple, IterationCacheEntry] = {}
+        self.stats = IterationCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, signature: Tuple) -> Optional[IterationCacheEntry]:
+        """Return the memoized entry or ``None``, updating hit/miss counters."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(signature)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def store(self, signature: Tuple, entry: IterationCacheEntry) -> None:
+        """Insert an entry, evicting the oldest signature if the cache is full."""
+        if not self.enabled:
+            return
+        if self.max_entries is not None and len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[signature] = entry
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._entries.clear()
+        self.stats = IterationCacheStats()

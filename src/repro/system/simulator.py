@@ -15,8 +15,9 @@ iteration.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..graph.execgraph import ExecutionGraph, GraphNode, GraphNodeType
 from .events import EventQueue
@@ -123,7 +124,11 @@ class SystemSimulator:
                 dependents.setdefault(dep, []).append(node.node_id)
 
         device_busy: Dict[int, bool] = {}
-        ready_per_device: Dict[int, List[int]] = {}
+        # FIFO of ready single-device nodes per busy device.  A deque keeps
+        # the pop-from-the-front O(1); with a plain list the per-device
+        # queues of a large graph (every node of a pipeline stage lands on
+        # one device) turn the simulation O(n^2).
+        ready_per_device: Dict[int, Deque[int]] = {}
         # Ready multi-device nodes (collectives, P2P) waiting for endpoints:
         # node id -> number of its devices currently busy.  A reverse index
         # maps each device to the waiting nodes that include it, so finishing
@@ -174,7 +179,7 @@ class SystemSimulator:
             else:
                 device = devices[0]
                 if device_busy.get(device, False):
-                    ready_per_device.setdefault(device, []).append(node_id)
+                    ready_per_device.setdefault(device, deque()).append(node_id)
                 else:
                     start_node(node, devices)
 
@@ -207,7 +212,7 @@ class SystemSimulator:
             if not device_busy.get(device, False):
                 ready = ready_per_device.get(device)
                 if ready:
-                    node_id = ready.pop(0)
+                    node_id = ready.popleft()
                     node = graph.node(node_id)
                     start_node(node, devices_of(node))
 

@@ -298,6 +298,25 @@ class TestReplicaCapabilitySignals:
             num_replicas=1, replica=replica_config(pim_type="local")))
         assert sim.replicas[0].engine_kind == "npu+pim"
 
+    def test_throughput_estimate_built_once_per_replica_class(self, monkeypatch):
+        import repro.cluster.simulator as cluster_simulator
+
+        calls = []
+        original = cluster_simulator.build_iteration_graph
+
+        def counting(model, batch):
+            calls.append(model.name)
+            return original(model, batch)
+
+        monkeypatch.setattr(cluster_simulator, "build_iteration_graph", counting)
+        cluster_simulator._THROUGHPUT_ESTIMATES.clear()
+        ClusterSimulator(ClusterConfig(num_replicas=4, replica=replica_config()))
+        assert len(calls) == 1  # one roofline graph build for 4 identical replicas
+        ClusterSimulator(ClusterConfig(
+            replicas=[ReplicaSpec(replica_config(), count=2, name="small"),
+                      ReplicaSpec(replica_config(npu_num=4), count=2, name="large")]))
+        assert len(calls) == 2  # the small class reuses the memoized estimate
+
     def test_mean_iteration_latency_measured(self):
         sim = ClusterSimulator(ClusterConfig(num_replicas=1, replica=replica_config()))
         replica = sim.replicas[0]
@@ -449,6 +468,39 @@ class TestAutoscaler:
         result = sim.run(trace)
         assert set(result.assignments.values()) == {0}
         assert result.scaling_timeline == []
+
+    def test_draining_replica_stops_after_final_drain(self):
+        # Regression: a replica scaled down while it still holds outstanding
+        # requests enters DRAINING; once the arrival loop ends, only the
+        # final drain phase finishes its work — without a lifecycle refresh
+        # there, the run ends with the replica stuck in DRAINING and the
+        # terminal state under-reported.
+        config = ClusterConfig(
+            num_replicas=2, routing="least-outstanding",
+            replica=replica_config(),
+            autoscale=AutoscaleConfig(min_replicas=1, max_replicas=2,
+                                      window_seconds=1.0,
+                                      target_rate_per_replica=1.0,
+                                      warmup_seconds=0.0, cooldown_seconds=0.0))
+        # An opening burst scales up to 2 replicas and the long outputs keep
+        # both busy; a lone late arrival drops the window rate to 1 req/s,
+        # scaling replica 1 down mid-flight.
+        requests = [Request(i, 16, 64, arrival_time=0.05 * i) for i in range(4)]
+        requests.append(Request(99, 16, 8, arrival_time=5.0))
+        sim = ClusterSimulator(config)
+        result = sim.run(requests)
+        actions = [(event.action, event.replica_id) for event in result.scaling_timeline]
+        assert ("scale-up", 1) in actions and ("scale-down", 1) in actions
+        assert len(result.finished_requests) == len(requests)
+        # The drained replica finished its outstanding work during the final
+        # drain phase and must be recorded as STOPPED, not DRAINING.
+        assert sim.replicas[1].lifecycle is ReplicaLifecycle.STOPPED
+        assert all(r.lifecycle is not ReplicaLifecycle.DRAINING
+                   for r in sim.replicas)
+        # The timeline agrees with the terminal state: after the last
+        # scale-down only replica 0 is provisioned.
+        assert result.scaling_timeline[-1].action == "scale-down"
+        assert result.scaling_timeline[-1].provisioned_after == 1
 
     def test_heterogeneous_slo_ttft_autoscaled_fleet(self):
         # The acceptance scenario: a 4-replica 2-class fleet under slo-ttft

@@ -36,13 +36,15 @@ def markdown_files():
 
 
 class TestDocsTreeExists:
-    @pytest.mark.parametrize("page", ["architecture.md", "cluster.md", "configuration.md"])
+    @pytest.mark.parametrize("page", ["architecture.md", "cluster.md",
+                                      "configuration.md", "performance.md"])
     def test_docs_pages_exist(self, page):
         assert (DOCS_DIR / page).is_file()
 
     def test_readme_links_every_docs_page(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        for page in ("docs/architecture.md", "docs/cluster.md", "docs/configuration.md"):
+        for page in ("docs/architecture.md", "docs/cluster.md",
+                     "docs/configuration.md", "docs/performance.md"):
             assert page in readme, f"README does not link {page}"
 
 

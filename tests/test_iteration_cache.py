@@ -1,0 +1,145 @@
+"""Unit tests for iteration-level memoization (the reuse hierarchy's top level)."""
+
+import dataclasses
+
+import pytest
+
+from repro import LLMServingSim, ServingSimConfig
+from repro.engine import (EngineStackReport, IterationCacheEntry, IterationReuseCache,
+                          iteration_signature)
+from repro.models import BatchComposition, Phase, SequenceSpec
+from repro.scheduler.kv_cache import KVMemoryEvent, KVMemoryEventType
+from repro.workload import Request
+
+
+def small_config(**overrides):
+    defaults = dict(model_name="gpt2", npu_num=1, npu_mem_gb=4.0)
+    defaults.update(overrides)
+    return ServingSimConfig(**defaults)
+
+
+def steady_requests(n, input_tokens=24, output_tokens=16, gap=2.0):
+    return [Request(i, input_tokens, output_tokens, arrival_time=gap * i)
+            for i in range(n)]
+
+
+class TestIterationSignature:
+    def test_ignores_request_ids(self):
+        batch_a = BatchComposition([SequenceSpec(1, 32, 1, Phase.GENERATION),
+                                    SequenceSpec(2, 0, 16, Phase.INITIATION)])
+        batch_b = BatchComposition([SequenceSpec(7, 32, 1, Phase.GENERATION),
+                                    SequenceSpec(9, 0, 16, Phase.INITIATION)])
+        assert iteration_signature(batch_a) == iteration_signature(batch_b)
+
+    def test_sensitive_to_geometry(self):
+        base = BatchComposition([SequenceSpec(0, 32, 1, Phase.GENERATION)])
+        longer = BatchComposition([SequenceSpec(0, 33, 1, Phase.GENERATION)])
+        other_phase = BatchComposition([SequenceSpec(0, 32, 1, Phase.INITIATION)])
+        assert iteration_signature(base) != iteration_signature(longer)
+        assert iteration_signature(base) != iteration_signature(other_phase)
+
+    def test_sensitive_to_memory_events_and_partitioning(self):
+        batch = BatchComposition([SequenceSpec(0, 32, 1, Phase.GENERATION)])
+        evict = KVMemoryEvent(KVMemoryEventType.EVICT, request_id=5, num_bytes=1e6)
+        reload = KVMemoryEvent(KVMemoryEventType.RELOAD, request_id=6, num_bytes=1e6)
+        assert iteration_signature(batch) != iteration_signature(batch, [evict])
+        assert iteration_signature(batch, [evict]) != iteration_signature(batch, [reload])
+        # ...but the *owner* of the migration does not matter, only the payload.
+        evict_other = KVMemoryEvent(KVMemoryEventType.EVICT, request_id=9, num_bytes=1e6)
+        assert iteration_signature(batch, [evict]) == iteration_signature(batch, [evict_other])
+        assert (iteration_signature(batch, num_sub_batches=1)
+                != iteration_signature(batch, num_sub_batches=2))
+
+
+class TestIterationReuseCache:
+    def _entry(self, latency=1.0):
+        return IterationCacheEntry(latency=latency, engine_report=EngineStackReport())
+
+    def test_lookup_store_and_stats(self):
+        cache = IterationReuseCache()
+        signature = ("sig",)
+        assert cache.lookup(signature) is None
+        cache.store(signature, self._entry(2.5))
+        hit = cache.lookup(signature)
+        assert hit is not None and hit.latency == 2.5
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert len(cache) == 1
+
+    def test_disabled_cache_never_hits_but_counts(self):
+        cache = IterationReuseCache(enabled=False)
+        cache.store(("sig",), self._entry())
+        assert cache.lookup(("sig",)) is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_max_entries_evicts_oldest(self):
+        cache = IterationReuseCache(max_entries=2)
+        for i in range(3):
+            cache.store((i,), self._entry(float(i)))
+        assert len(cache) == 2
+        assert cache.lookup((0,)) is None          # evicted
+        assert cache.lookup((2,)).latency == 2.0   # retained
+
+    def test_clear_resets_everything(self):
+        cache = IterationReuseCache()
+        cache.store(("sig",), self._entry())
+        cache.lookup(("sig",))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            IterationReuseCache(max_entries=0)
+
+
+class TestSimulatorMemoization:
+    def test_on_off_produce_identical_latencies(self):
+        on = LLMServingSim(small_config(enable_iteration_reuse=True)).run(
+            steady_requests(5))
+        off = LLMServingSim(small_config()).run(steady_requests(5))
+        assert [r.latency for r in on.iterations] == [r.latency for r in off.iterations]
+        assert [(r.start_time, r.end_time) for r in on.iterations] == \
+               [(r.start_time, r.end_time) for r in off.iterations]
+        assert on.iteration_cache_hits > 0
+        assert off.iteration_cache_hits == 0 and off.iteration_cache_misses == 0
+        assert off.iteration_cache_hit_rate == 0.0
+
+    def test_steady_decode_hit_rate_over_half(self):
+        result = LLMServingSim(small_config(enable_iteration_reuse=True)).run(
+            steady_requests(6))
+        assert result.iteration_cache_hit_rate >= 0.5
+
+    def test_modeled_simulation_time_shrinks_with_reuse(self):
+        on = LLMServingSim(small_config(enable_iteration_reuse=True)).run(
+            steady_requests(5))
+        off = LLMServingSim(small_config()).run(steady_requests(5))
+        assert on.modeled_simulation_time.total < off.modeled_simulation_time.total
+
+    def test_simtime_tracker_counts_cached_iterations(self):
+        simulator = LLMServingSim(small_config(enable_iteration_reuse=True))
+        result = simulator.run(steady_requests(4))
+        assert simulator.simtime.iteration_cache_hits == result.iteration_cache_hits
+        assert simulator.simtime.iterations == len(result.iterations)
+
+    def test_hit_flags_last_engine_report(self):
+        simulator = LLMServingSim(small_config(enable_iteration_reuse=True))
+        simulator.run(steady_requests(3))
+        # The final iterations replay request 2's decode trace from cache.
+        assert simulator.last_engine_report.served_from_iteration_cache
+
+    def test_cache_shared_between_same_config_simulators(self):
+        cache = IterationReuseCache()
+        config = small_config(enable_iteration_reuse=True)
+        first = LLMServingSim(config, iteration_cache=cache)
+        first.run(steady_requests(1))
+        second = LLMServingSim(dataclasses.replace(config), iteration_cache=cache)
+        result = second.run(steady_requests(1))
+        # Every iteration of the second simulator replays the first's trace.
+        assert result.iteration_cache_misses == 0
+        assert result.iteration_cache_hits == len(result.iterations)
+
+    def test_private_cache_created_only_when_enabled(self):
+        assert LLMServingSim(small_config()).iteration_cache is None
+        assert LLMServingSim(small_config(enable_iteration_reuse=True)
+                             ).iteration_cache is not None

@@ -226,6 +226,32 @@ class TestSystemSimulator:
         result = self._sim().simulate(graph)
         assert result.makespan >= graph.critical_path_compute_time() - 1e-9
 
+    def test_large_single_device_graph_fifo_order_and_speed(self):
+        # Regression for the O(n^2) `ready.pop(0)` FIFO: a large fan-out on
+        # one device enqueues every node in the per-device ready queue.  The
+        # deque must preserve FIFO dispatch order (nodes run in the order
+        # they became ready) and keep the simulation linear-ish in the node
+        # count.
+        import time as _time
+
+        num_nodes = 4000
+        graph = ExecutionGraph()
+        root = graph.add_compute("root", device=1, duration=1.0)
+        for i in range(num_nodes):
+            graph.add_compute(f"fan{i}", device=1, duration=0.5,
+                              deps=[root.node_id])
+        started = _time.perf_counter()
+        result = SystemSimulator(build_topology(1, 1)).simulate(graph)
+        elapsed = _time.perf_counter() - started
+        assert result.makespan == pytest.approx(1.0 + 0.5 * num_nodes)
+        assert len(result.node_timings) == num_nodes + 1
+        # FIFO: fan-out nodes start in creation order, back to back.
+        fan_timings = [t for t in result.node_timings if t.name.startswith("fan")]
+        names_in_start_order = [t.name for t in sorted(fan_timings, key=lambda t: t.start)]
+        assert names_in_start_order == [f"fan{i}" for i in range(num_nodes)]
+        # Loose wall-clock bound: the quadratic version is far slower.
+        assert elapsed < 10.0
+
     @given(durations=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=15),
            devices=st.integers(1, 4))
     @settings(max_examples=25, deadline=None)
