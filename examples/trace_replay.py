@@ -1,0 +1,81 @@
+"""Trace replay: routing policies under recorded vs. synthetic arrivals.
+
+Replays the committed Azure-format sample trace (Poisson-burst shaped, the
+lumpy arrival pattern of production traffic) across a 4-replica cluster
+once per routing policy, then serves a plain Poisson trace with the same
+mean rate and request lengths for comparison.  The spread between routing
+policies is the point: under smooth Poisson arrivals every sensible
+balancer produces near-identical tail latencies, while the replayed bursts
+pile requests onto whichever replica the policy picks during an epoch —
+recorded traces separate policies that synthetic smoothness hides.
+
+Run with::
+
+    PYTHONPATH=src python examples/trace_replay.py
+"""
+
+from pathlib import Path
+
+from repro import ClusterConfig, ClusterSimulator, ServingSimConfig
+from repro.analysis import print_table
+from repro.workload import PoissonArrivalGenerator, TraceReplayArrivalGenerator
+
+SAMPLE_TRACE = Path(__file__).resolve().parent / "traces" / "sample_azure.csv"
+
+ROUTERS = ["round-robin", "least-outstanding", "least-kv", "slo-ttft"]
+
+
+def replayed_trace():
+    # A seeded half-sample keeps the walkthrough quick; 2x rate rescaling
+    # stresses the same burst shape at higher intensity.
+    return TraceReplayArrivalGenerator(SAMPLE_TRACE, trace_format="azure",
+                                       rate_scale=2.0, sample=0.5, seed=3).generate()
+
+
+def poisson_trace(num_requests, rate):
+    # The smooth control arm: same mean rate, same dataset-free short
+    # lengths are close enough via alpaca's profile.
+    return PoissonArrivalGenerator("alpaca", rate_per_second=rate,
+                                   seed=7).generate(num_requests)
+
+
+def run_arm(routing, make_trace):
+    config = ClusterConfig(
+        num_replicas=4, routing=routing,
+        replica=ServingSimConfig(model_name="gpt2", npu_num=1, npu_mem_gb=4.0))
+    # Traces are mutated by a run, so every arm replays a fresh copy.
+    result = ClusterSimulator(config).run(make_trace())
+    slos = result.slo_metrics()
+    return result, slos
+
+
+def main() -> None:
+    reference = replayed_trace()
+    num_requests = len(reference.requests)
+    mean_rate = num_requests / reference.duration
+
+    rows = []
+    for routing in ROUTERS:
+        replay_result, replay_slos = run_arm(routing, replayed_trace)
+        poisson_result, poisson_slos = run_arm(
+            routing, lambda: poisson_trace(num_requests, mean_rate))
+        rows.append([
+            routing,
+            "/".join(str(c) for c in replay_result.requests_per_replica()),
+            f"{replay_slos['ttft'].p99:.3f}",
+            f"{replay_slos['e2e'].p99:.3f}",
+            f"{poisson_slos['ttft'].p99:.3f}",
+            f"{poisson_slos['e2e'].p99:.3f}",
+        ])
+
+    print_table(
+        f"Replayed sample trace ({num_requests} requests, {mean_rate:.1f} req/s) "
+        f"vs. Poisson at the same rate, 4x gpt2 replicas",
+        ["routing", "replay req/replica", "replay TTFT p99", "replay E2E p99",
+         "poisson TTFT p99", "poisson E2E p99"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate the committed sample traces (both on-disk formats).
+
+The samples are anonymized, synthetic stand-ins for a production arrival
+trace: Poisson-burst epochs (the lumpy shape real traffic has and the
+smooth synthetic processes lack) carrying short instruction-style requests.
+One underlying trace is written twice — ``sample.tsv`` in the artifact's
+3-column TSV dataset format and ``sample_azure.csv`` in the Azure-style
+``TIMESTAMP,ContextTokens,GeneratedTokens`` CSV format — so the two format
+adapters can be validated against each other.
+
+Run from the repository root (the outputs are committed)::
+
+    PYTHONPATH=src python examples/traces/regenerate.py
+"""
+
+import csv
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+
+from repro.workload import Request, RequestTrace, write_trace
+
+HERE = Path(__file__).resolve().parent
+
+NUM_REQUESTS = 280
+BURST_RATE_PER_SECOND = 0.8   # burst epochs per second
+BURST_SIZE_MEAN = 5.0         # requests per burst (geometric)
+SEED = 20240510
+EPOCH = datetime(2024, 5, 10, 0, 0, 0)  # anonymized absolute origin
+
+
+def build_trace() -> RequestTrace:
+    rng = np.random.default_rng(SEED)
+    requests = []
+    clock = 0.0
+    while len(requests) < NUM_REQUESTS:
+        clock += float(rng.exponential(1.0 / BURST_RATE_PER_SECOND))
+        burst = min(int(rng.geometric(1.0 / BURST_SIZE_MEAN)),
+                    NUM_REQUESTS - len(requests))
+        for _ in range(burst):
+            # Short instruction-style lengths keep the committed sample
+            # cheap to replay end-to-end on the default models.
+            input_tokens = int(np.clip(round(rng.lognormal(np.log(32), 0.6)), 4, 160))
+            output_tokens = int(np.clip(round(rng.lognormal(np.log(16), 0.7)), 1, 48))
+            requests.append(Request(
+                request_id=len(requests),
+                input_tokens=input_tokens,
+                output_tokens=output_tokens,
+                arrival_time=round(clock, 6),
+            ))
+    return RequestTrace(requests=requests, dataset="sample",
+                        arrival_process="poisson-burst")
+
+
+def write_azure_csv(trace: RequestTrace, path: Path) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["TIMESTAMP", "ContextTokens", "GeneratedTokens"])
+        for request in trace.requests:
+            stamp = EPOCH + timedelta(seconds=request.arrival_time)
+            writer.writerow([stamp.strftime("%Y-%m-%d %H:%M:%S.%f"),
+                             request.input_tokens, request.output_tokens])
+
+
+def main() -> None:
+    trace = build_trace()
+    write_trace(trace, HERE / "sample.tsv")
+    write_azure_csv(trace, HERE / "sample_azure.csv")
+    print(f"wrote {len(trace)} requests spanning {trace.duration:.1f} s to "
+          f"{HERE / 'sample.tsv'} and {HERE / 'sample_azure.csv'}")
+
+
+if __name__ == "__main__":
+    main()

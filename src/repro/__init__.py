@@ -21,24 +21,30 @@ Quickstart::
 
 from .cluster import (Autoscaler, ClusterResult, ClusterSimulator, ScalingEvent,
                       available_routers, build_router)
-from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
+from .core.config import (AutoscaleConfig, ClusterConfig, ReplicaSpec,
+                          ServingSimConfig, TraceReplayConfig)
 from .core.results import IterationRecord, ServingResult, ThroughputPoint
 from .core.simtime import ComponentTimes, SimTimeCalibration, SimTimeTracker
 from .core.simulator import LLMServingSim
 from .graph.parallelism import ParallelismStrategy
 from .models.architectures import ModelConfig, available_models, get_model, register_model
-from .workload.generator import RequestTrace, generate_trace
+from .workload.generator import RequestTrace, available_arrivals, generate_trace
+from .workload.replay import TraceReplayArrivalGenerator
 from .workload.request import Request, RequestState
+from .workload.trace_io import read_trace, write_trace
 
 __version__ = "0.2.0"
 
 __all__ = [
     "LLMServingSim", "ServingSimConfig", "ServingResult", "IterationRecord", "ThroughputPoint",
     "ClusterSimulator", "ClusterConfig", "ClusterResult", "ReplicaSpec",
-    "AutoscaleConfig", "Autoscaler", "ScalingEvent", "available_routers", "build_router",
+    "AutoscaleConfig", "TraceReplayConfig", "Autoscaler", "ScalingEvent",
+    "available_routers", "build_router",
     "ComponentTimes", "SimTimeCalibration", "SimTimeTracker",
     "ParallelismStrategy",
     "ModelConfig", "available_models", "get_model", "register_model",
-    "RequestTrace", "generate_trace", "Request", "RequestState",
+    "RequestTrace", "available_arrivals", "generate_trace",
+    "TraceReplayArrivalGenerator", "Request", "RequestState",
+    "read_trace", "write_trace",
     "__version__",
 ]

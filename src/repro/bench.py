@@ -42,11 +42,16 @@ from .cluster.results import ClusterResult
 from .cluster.simulator import ClusterSimulator
 from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
 from .workload.generator import generate_trace
+from .workload.replay import TraceReplayArrivalGenerator
 from .workload.request import Request
+
+#: The committed sample trace replayed by the ``trace-replay-4`` scenario.
+SAMPLE_TRACE = (Path(__file__).resolve().parents[2]
+                / "examples" / "traces" / "sample_azure.csv")
 
 __all__ = ["BenchScenario", "BENCH_SCENARIOS", "cluster_result_fingerprint",
            "run_scenario", "run_bench", "write_report", "check_speedup",
-           "SPEEDUP_SCENARIO", "MIN_CORES_FOR_SPEEDUP_CHECK"]
+           "SPEEDUP_SCENARIO", "MIN_CORES_FOR_SPEEDUP_CHECK", "SAMPLE_TRACE"]
 
 #: The scenario whose serial/process-pool ratio gates CI.
 SPEEDUP_SCENARIO = "homogeneous-4"
@@ -141,6 +146,27 @@ def _decode_config(n: int) -> ClusterConfig:
                          replica=_gpt2_replica(enable_iteration_reuse=True))
 
 
+def _trace_replay_config(n: int) -> ClusterConfig:
+    return ClusterConfig(
+        num_replicas=4, routing="least-outstanding", replica=_gpt2_replica(),
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4,
+                                  window_seconds=4.0, target_rate_per_replica=2.0,
+                                  warmup_seconds=0.5, cooldown_seconds=1.0))
+
+
+def _trace_replay_workload(n: int):
+    # Replayed bursts hit the autoscaler with step changes the smooth
+    # diurnal ramp never produces — the scale-up path under real traffic.
+    if not SAMPLE_TRACE.is_file():
+        raise FileNotFoundError(
+            f"the trace-replay-4 scenario replays the committed sample trace "
+            f"at {SAMPLE_TRACE}, which only exists in a repository checkout; "
+            f"run the bench from the repo root (or regenerate the sample with "
+            f"examples/traces/regenerate.py)")
+    return TraceReplayArrivalGenerator(SAMPLE_TRACE, trace_format="azure",
+                                       rate_scale=2.0).generate(n)
+
+
 BENCH_SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         name="homogeneous-4",
@@ -159,6 +185,12 @@ BENCH_SCENARIOS: Tuple[BenchScenario, ...] = (
                     "autoscaler (1:4 bounds)",
         num_requests=40, quick_num_requests=12,
         make_config=_autoscaled_config, make_workload=_autoscaled_workload),
+    BenchScenario(
+        name="trace-replay-4",
+        description="4 gpt2 replicas autoscaled 1:4, replaying the committed "
+                    "Azure-format sample trace at 2x rate",
+        num_requests=48, quick_num_requests=16,
+        make_config=_trace_replay_config, make_workload=_trace_replay_workload),
     BenchScenario(
         name="steady-decode-reuse",
         description="2 replicas serving identical steady-state decode "

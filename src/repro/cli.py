@@ -26,6 +26,16 @@ an autoscaler over the fleet::
         --replica-spec count=2,npu_num=4,name=large \
         --autoscale 2:4 --arrival diurnal --num-requests 64 --rate 8
 
+Both the flat interface and the ``cluster`` subcommand replay recorded
+arrival traces instead of synthesizing them: ``--trace`` names the file,
+``--trace-format`` its on-disk format (the artifact's TSV or an Azure-style
+``TIMESTAMP,ContextTokens,GeneratedTokens`` CSV), and the replay transforms
+ride along (``--trace-rate-scale``, ``--trace-window start:end``,
+``--trace-sample``)::
+
+    llmservingsim cluster --trace examples/traces/sample_azure.csv \
+        --trace-format azure --backend process-pool
+
 The ``bench`` subcommand runs the tracked performance matrix (serial vs
 process-pool backends, iteration-reuse on/off) and writes the
 ``BENCH_cluster.json`` report CI archives per commit::
@@ -42,16 +52,21 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from .cluster import ClusterSimulator, available_backends, available_routers
-from .core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
+from .core.config import (AutoscaleConfig, ClusterConfig, ReplicaSpec,
+                          ServingSimConfig, TraceReplayConfig)
 from .core.simulator import LLMServingSim
 from .graph.parallelism import ParallelismStrategy
-from .workload.generator import generate_trace
-from .workload.trace_io import read_trace
+from .models.architectures import get_model
+from .workload.generator import available_arrivals, generate_trace
+from .workload.replay import TRACE_FORMATS, TraceReplayArrivalGenerator
 
 __all__ = ["build_parser", "build_cluster_parser", "build_bench_parser", "main",
-           "cluster_main", "bench_main", "parse_replica_spec", "parse_autoscale_bounds"]
+           "cluster_main", "bench_main", "parse_replica_spec",
+           "parse_autoscale_bounds", "parse_trace_window"]
 
-ARRIVAL_CHOICES = ["poisson", "burst", "poisson-burst", "diurnal"]
+#: Synthetic processes selectable with --arrival; "replay" is selected by
+#: naming a trace file with --trace instead.
+ARRIVAL_CHOICES = [name for name in available_arrivals() if name != "replay"]
 
 
 def _add_serving_args(parser: argparse.ArgumentParser, arrival_default: str = "poisson") -> None:
@@ -66,7 +81,28 @@ def _add_serving_args(parser: argparse.ArgumentParser, arrival_default: str = "p
     parser.add_argument("--parallel", choices=["tensor", "pipeline", "hybrid"], default="hybrid")
     parser.add_argument("--kv-manage", choices=["vllm", "max"], default="vllm")
     parser.add_argument("--dataset", default="sharegpt", help="dataset profile or 'file'")
-    parser.add_argument("--trace-file", default=None, help="TSV trace file to replay")
+    parser.add_argument("--trace", "--trace-file", dest="trace", default=None,
+                        metavar="PATH",
+                        help="recorded arrival trace to replay instead of a "
+                             "synthetic process (disables --arrival, --rate "
+                             "and --num-requests; --trace-window and "
+                             "--trace-sample subset the trace)")
+    parser.add_argument("--trace-format", choices=list(TRACE_FORMATS), default="tsv",
+                        help="on-disk format of --trace: the artifact's "
+                             "3-column TSV or an Azure-style "
+                             "TIMESTAMP,ContextTokens,GeneratedTokens CSV")
+    parser.add_argument("--trace-rate-scale", type=_positive_float, default=1.0,
+                        metavar="FACTOR",
+                        help="replay the trace FACTOR times faster (arrival "
+                             "timestamps divided by FACTOR)")
+    parser.add_argument("--trace-window", type=parse_trace_window, default=None,
+                        metavar="START:END",
+                        help="replay only arrivals in [START, END) seconds "
+                             "relative to the start of the trace")
+    parser.add_argument("--trace-sample", type=_sample_fraction, default=1.0,
+                        metavar="FRACTION",
+                        help="replay a seeded random FRACTION of the trace's "
+                             "requests (0 < FRACTION <= 1)")
     parser.add_argument("--num-requests", type=int, default=64)
     parser.add_argument("--rate", type=float, default=1.0, help="mean arrival rate (req/s)")
     parser.add_argument("--arrival", choices=ARRIVAL_CHOICES, default=arrival_default)
@@ -155,6 +191,44 @@ def _convert_spec_value(key: str, raw: str, converter):
         raise argparse.ArgumentTypeError(
             f"replica-spec field {key!r}: {raw!r} is not a valid "
             f"{converter.__name__}") from None
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (e.g. --trace-rate-scale)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"{text!r} must be positive")
+    return value
+
+
+def _sample_fraction(text: str) -> float:
+    """argparse type: a fraction in (0, 1] (the --trace-sample domain)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0 < value <= 1:
+        raise argparse.ArgumentTypeError(f"{text!r} must be in (0, 1]")
+    return value
+
+
+def parse_trace_window(text: str) -> Tuple[float, float]:
+    """Parse ``--trace-window start:end`` into a ``(start, end)`` tuple."""
+    start, sep, end = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        window = float(start), float(end)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"trace window {text!r} is not of the form start:end") from None
+    if window[0] < 0 or window[1] <= window[0]:
+        raise argparse.ArgumentTypeError(
+            f"trace window {text!r} must satisfy 0 <= start < end")
+    return window
 
 
 def parse_autoscale_bounds(text: str) -> Tuple[int, int]:
@@ -246,14 +320,23 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
             cooldown_seconds=args.autoscale_cooldown,
         )
 
+    trace_replay = None
+    if args.trace:
+        if not Path(args.trace).is_file():
+            parser.error(f"trace file {args.trace} does not exist")
+        trace_replay = TraceReplayConfig(
+            path=args.trace, format=args.trace_format,
+            rate_scale=args.trace_rate_scale, window=args.trace_window,
+            sample=args.trace_sample, seed=args.seed)
+
     config = ClusterConfig(num_replicas=args.replicas, routing=args.routing,
                            execution_backend=args.backend,
                            replica=base_config, replicas=specs or None,
-                           autoscale=autoscale, ttft_slo=args.ttft_slo,
-                           e2e_slo=args.e2e_slo)
+                           autoscale=autoscale, trace_replay=trace_replay,
+                           ttft_slo=args.ttft_slo, e2e_slo=args.e2e_slo)
 
-    if args.trace_file:
-        trace = read_trace(args.trace_file, dataset=args.dataset)
+    if trace_replay is not None:
+        trace = None  # the simulator replays config.trace_replay itself
     else:
         trace = generate_trace(args.dataset, args.num_requests, arrival=args.arrival,
                                rate_per_second=args.rate, seed=args.seed,
@@ -365,7 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cluster_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     config = ServingSimConfig(
         model_name=args.model_name,
@@ -384,8 +468,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
     )
 
-    if args.trace_file:
-        trace = read_trace(args.trace_file, dataset=args.dataset)
+    if args.trace:
+        if not Path(args.trace).is_file():
+            parser.error(f"trace file {args.trace} does not exist")
+        trace = TraceReplayArrivalGenerator(
+            args.trace, trace_format=args.trace_format,
+            rate_scale=args.trace_rate_scale, window=args.trace_window,
+            sample=args.trace_sample, seed=args.seed,
+            max_seq_len=get_model(args.model_name).max_seq_len).generate()
     else:
         trace = generate_trace(args.dataset, args.num_requests, arrival=args.arrival,
                                rate_per_second=args.rate, seed=args.seed,

@@ -40,6 +40,7 @@ from ..models.graph import BatchComposition, SequenceSpec, build_iteration_graph
 from ..models.layers import Phase
 from ..models.roofline import DevicePeaks
 from ..workload.generator import RequestTrace
+from ..workload.replay import trace_from_config
 from ..workload.request import Request
 from .autoscaler import Autoscaler, ReplicaLifecycle
 from .backend import ExecutionBackend, ReplicaLoadSnapshot, build_backend
@@ -307,7 +308,7 @@ class ClusterSimulator:
 
     # -- public API ------------------------------------------------------------
 
-    def run(self, workload: "RequestTrace | Sequence[Request]",
+    def run(self, workload: "RequestTrace | Sequence[Request] | None" = None,
             max_iterations_per_replica: Optional[int] = None) -> ClusterResult:
         """Serve a request trace across the cluster to completion.
 
@@ -315,7 +316,9 @@ class ClusterSimulator:
         ----------
         workload:
             A request trace or plain list of requests; arrival order defines
-            routing order.
+            routing order.  ``None`` replays the trace configured in
+            ``config.trace_replay``, with sequence lengths clamped to the
+            smallest model context window in the fleet.
         max_iterations_per_replica:
             Optional safety cap on iterations simulated per replica.
 
@@ -325,6 +328,13 @@ class ClusterSimulator:
             Per-replica results, the routing assignment, the scaling timeline
             (when autoscaling) and cluster-level throughput / SLO metrics.
         """
+        if workload is None:
+            if self.config.trace_replay is None:
+                raise ValueError("run() needs a workload, or a ClusterConfig "
+                                 "with trace_replay set")
+            workload = trace_from_config(
+                self.config.trace_replay,
+                max_seq_len=min(r.simulator.model.max_seq_len for r in self.replicas))
         requests = (list(workload.requests) if isinstance(workload, RequestTrace)
                     else list(workload))
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))

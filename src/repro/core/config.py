@@ -21,7 +21,8 @@ from ..system.network import NetworkConfig
 from ..system.topology import PIMMode
 from .simtime import SimTimeCalibration
 
-__all__ = ["ServingSimConfig", "ReplicaSpec", "AutoscaleConfig", "ClusterConfig"]
+__all__ = ["ServingSimConfig", "ReplicaSpec", "AutoscaleConfig",
+           "TraceReplayConfig", "ClusterConfig"]
 
 
 @dataclass
@@ -235,6 +236,56 @@ class AutoscaleConfig:
 
 
 @dataclass
+class TraceReplayConfig:
+    """A recorded arrival trace to replay as a cluster's workload.
+
+    Describes the on-disk trace and the replay transforms applied by
+    :class:`~repro.workload.replay.TraceReplayArrivalGenerator`.  When a
+    :class:`ClusterConfig` carries one of these,
+    :meth:`~repro.cluster.simulator.ClusterSimulator.run` can be called
+    without a workload argument: the simulator loads the trace itself,
+    clamping sequence lengths to the smallest context window in the fleet.
+
+    Attributes
+    ----------
+    path:
+        Trace file to replay.
+    format:
+        On-disk format: ``"tsv"`` (the artifact's dataset format) or
+        ``"azure"`` (``TIMESTAMP,ContextTokens,GeneratedTokens`` CSV).
+    rate_scale:
+        Arrival-rate multiplier (``2.0`` replays the trace twice as fast).
+    window:
+        Optional ``(start, end)`` slice in seconds relative to the start of
+        the trace.
+    sample:
+        Fraction of requests to keep, ``(0, 1]``; subsampling is seeded.
+    seed:
+        Seed of the subsampling draw.
+    max_requests:
+        Optional cap on the number of replayed requests.
+    """
+
+    path: str
+    format: str = "tsv"
+    rate_scale: float = 1.0
+    window: Optional[Tuple[float, float]] = None
+    sample: float = 1.0
+    seed: int = 0
+    max_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from ..workload.replay import TRACE_FORMATS, validate_replay_transforms
+        if not self.path:
+            raise ValueError("trace path must be non-empty")
+        if self.format not in TRACE_FORMATS:
+            raise ValueError(f"trace format must be one of {TRACE_FORMATS}")
+        validate_replay_transforms(self.rate_scale, self.window, self.sample)
+        if self.max_requests is not None and self.max_requests <= 0:
+            raise ValueError("max_requests must be positive when set")
+
+
+@dataclass
 class ClusterConfig:
     """Configuration of a multi-replica serving cluster.
 
@@ -273,6 +324,10 @@ class ClusterConfig:
     autoscale:
         Optional :class:`AutoscaleConfig`; ``None`` keeps the whole fleet
         active for the entire run.
+    trace_replay:
+        Optional :class:`TraceReplayConfig`; when set,
+        :meth:`~repro.cluster.simulator.ClusterSimulator.run` may be called
+        without a workload — the cluster replays the configured trace.
     ttft_slo:
         Optional time-to-first-token SLO target (seconds) reported as
         per-class attainment in :class:`~repro.cluster.results.ClusterResult`.
@@ -286,6 +341,7 @@ class ClusterConfig:
     replica: ServingSimConfig = field(default_factory=ServingSimConfig)
     replicas: Optional[List[ReplicaSpec]] = None
     autoscale: Optional[AutoscaleConfig] = None
+    trace_replay: Optional[TraceReplayConfig] = None
     ttft_slo: Optional[float] = None
     e2e_slo: Optional[float] = None
 

@@ -3,14 +3,18 @@
 from .datasets import DATASET_PROFILES, DatasetProfile, LengthSampler, get_profile
 from .generator import (BurstArrivalGenerator, DiurnalArrivalGenerator,
                         PoissonArrivalGenerator, PoissonBurstArrivalGenerator,
-                        RequestTrace, generate_trace)
+                        RequestTrace, available_arrivals, generate_trace)
+from .replay import (AZURE_COLUMNS, TRACE_FORMATS, TraceReplayArrivalGenerator,
+                     load_trace, read_azure_trace, trace_from_config)
 from .request import Request, RequestState
 from .trace_io import read_trace, write_trace
 
 __all__ = [
     "DATASET_PROFILES", "DatasetProfile", "LengthSampler", "get_profile",
     "BurstArrivalGenerator", "DiurnalArrivalGenerator", "PoissonArrivalGenerator",
-    "PoissonBurstArrivalGenerator", "RequestTrace", "generate_trace",
+    "PoissonBurstArrivalGenerator", "RequestTrace", "available_arrivals", "generate_trace",
+    "AZURE_COLUMNS", "TRACE_FORMATS", "TraceReplayArrivalGenerator",
+    "load_trace", "read_azure_trace", "trace_from_config",
     "Request", "RequestState",
     "read_trace", "write_trace",
 ]

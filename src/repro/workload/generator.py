@@ -22,7 +22,8 @@ from .datasets import DatasetProfile, LengthSampler, get_profile
 from .request import Request
 
 __all__ = ["RequestTrace", "PoissonArrivalGenerator", "BurstArrivalGenerator",
-           "PoissonBurstArrivalGenerator", "DiurnalArrivalGenerator", "generate_trace"]
+           "PoissonBurstArrivalGenerator", "DiurnalArrivalGenerator",
+           "available_arrivals", "generate_trace"]
 
 
 @dataclass
@@ -242,38 +243,100 @@ class DiurnalArrivalGenerator:
         )
 
 
+def _build_poisson(dataset, num_requests, options):
+    return PoissonArrivalGenerator(
+        dataset, options["rate_per_second"], options["seed"]).generate(num_requests)
+
+
+def _build_burst(dataset, num_requests, options):
+    return BurstArrivalGenerator(dataset, options["seed"]).generate(num_requests)
+
+
+def _build_poisson_burst(dataset, num_requests, options):
+    return PoissonBurstArrivalGenerator(
+        dataset, options["rate_per_second"], options["burst_size_mean"],
+        options["seed"]).generate(num_requests)
+
+
+def _build_diurnal(dataset, num_requests, options):
+    return DiurnalArrivalGenerator(
+        dataset, options["rate_per_second"], options["amplitude"],
+        options["period_seconds"], options["seed"]).generate(num_requests)
+
+
+def _build_replay(dataset, num_requests, options):
+    from .replay import TraceReplayArrivalGenerator  # avoid an import cycle
+    if options["trace_path"] is None:
+        raise ValueError("arrival 'replay' requires trace_path")
+    return TraceReplayArrivalGenerator(
+        options["trace_path"], trace_format=options["trace_format"],
+        rate_scale=options["trace_rate_scale"], window=options["trace_window"],
+        sample=options["trace_sample"], seed=options["seed"],
+        max_seq_len=options["max_seq_len"]).generate(num_requests)
+
+
+#: Arrival-process registry of :func:`generate_trace`: name -> builder taking
+#: ``(dataset, num_requests, options)``.  Replay lives here next to the
+#: synthetic processes so every workload consumer (CLI, benchmarks, cluster
+#: runs) selects recorded traces the same way it selects poisson arrivals.
+ARRIVAL_GENERATORS = {
+    "poisson": _build_poisson,
+    "burst": _build_burst,
+    "poisson-burst": _build_poisson_burst,
+    "diurnal": _build_diurnal,
+    "replay": _build_replay,
+}
+
+
+def available_arrivals() -> List[str]:
+    """Names of the registered arrival processes, in registration order."""
+    return list(ARRIVAL_GENERATORS)
+
+
 def generate_trace(dataset: str, num_requests: int, arrival: str = "poisson",
                    rate_per_second: float = 1.0, seed: int = 0,
                    burst_size_mean: float = 4.0, amplitude: float = 0.8,
-                   period_seconds: float = 240.0) -> RequestTrace:
+                   period_seconds: float = 240.0,
+                   trace_path: Optional[str] = None, trace_format: str = "tsv",
+                   trace_rate_scale: float = 1.0,
+                   trace_window: Optional[tuple] = None,
+                   trace_sample: float = 1.0,
+                   max_seq_len: Optional[int] = None) -> RequestTrace:
     """Convenience front-end used by the CLI and the benchmarks.
 
     Parameters
     ----------
     dataset:
-        ``"sharegpt"`` or ``"alpaca"``.
+        ``"sharegpt"`` or ``"alpaca"`` (ignored by ``"replay"``, whose
+        lengths come from the trace file).
     num_requests:
-        Number of requests to generate.
+        Number of requests to generate (for ``"replay"``, a cap on the
+        replayed trace).
     arrival:
-        ``"poisson"``, ``"burst"``, ``"poisson-burst"`` or ``"diurnal"``.
+        One of :func:`available_arrivals`: ``"poisson"``, ``"burst"``,
+        ``"poisson-burst"``, ``"diurnal"`` or ``"replay"``.
     rate_per_second:
-        Mean arrival rate (ignored for one-shot burst arrivals).
+        Mean arrival rate (ignored for one-shot burst arrivals and replay).
     seed:
-        Random seed.
+        Random seed (for ``"replay"``, seeds the subsampling draw).
     burst_size_mean:
         Mean burst size for the ``"poisson-burst"`` process.
     amplitude / period_seconds:
         Shape of the ``"diurnal"`` rate cycle.
+    trace_path / trace_format / trace_rate_scale / trace_window / trace_sample:
+        The ``"replay"`` process's source file and transforms — see
+        :class:`~repro.workload.replay.TraceReplayArrivalGenerator`.
+    max_seq_len:
+        Optional context-window clamp applied by ``"replay"``.
     """
-    if arrival == "poisson":
-        return PoissonArrivalGenerator(dataset, rate_per_second, seed).generate(num_requests)
-    if arrival == "burst":
-        return BurstArrivalGenerator(dataset, seed).generate(num_requests)
-    if arrival == "poisson-burst":
-        return PoissonBurstArrivalGenerator(
-            dataset, rate_per_second, burst_size_mean, seed).generate(num_requests)
-    if arrival == "diurnal":
-        return DiurnalArrivalGenerator(
-            dataset, rate_per_second, amplitude, period_seconds, seed).generate(num_requests)
-    raise ValueError(f"unknown arrival process {arrival!r}; expected 'poisson', 'burst', "
-                     "'poisson-burst' or 'diurnal'")
+    builder = ARRIVAL_GENERATORS.get(arrival)
+    if builder is None:
+        known = ", ".join(repr(name) for name in ARRIVAL_GENERATORS)
+        raise ValueError(f"unknown arrival process {arrival!r}; expected one of {known}")
+    options = dict(rate_per_second=rate_per_second, seed=seed,
+                   burst_size_mean=burst_size_mean, amplitude=amplitude,
+                   period_seconds=period_seconds, trace_path=trace_path,
+                   trace_format=trace_format, trace_rate_scale=trace_rate_scale,
+                   trace_window=trace_window, trace_sample=trace_sample,
+                   max_seq_len=max_seq_len)
+    return builder(dataset, num_requests, options)

@@ -9,6 +9,7 @@ objects through that format so traces can be stored, shared and replayed.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import List, Union
 
@@ -38,11 +39,19 @@ def write_trace(trace: RequestTrace, path: Union[str, Path]) -> Path:
     return path
 
 
-def read_trace(path: Union[str, Path], dataset: str = "file") -> RequestTrace:
+def read_trace(path: Union[str, Path], dataset: str = "file",
+               arrival_process: str = "file") -> RequestTrace:
     """Read a request trace from a TSV file written by :func:`write_trace`.
 
     Files without a header row (plain three-column TSV, as in the original
-    artifact) are also accepted.
+    artifact) are also accepted.  ``arrival_process`` labels the resulting
+    trace (callers replaying a known process pass its name; the default
+    ``"file"`` marks traces of unknown provenance).  Arrival times must be
+    monotonically non-decreasing — a time-travel row raises ``ValueError``
+    naming the offending line instead of silently producing a trace whose
+    sort order hides the corruption.  Zero-token rows are floored to one
+    token (real traces contain empty responses; the request model does not
+    admit them), matching the Azure-format reader.
     """
     path = Path(path)
     requests: List[Request] = []
@@ -57,18 +66,43 @@ def read_trace(path: Union[str, Path], dataset: str = "file") -> RequestTrace:
     if first and not _is_number(first[0]):
         start = 1  # skip header
 
+    previous_arrival = None
     for i, row in enumerate(rows[start:]):
+        line = i + start + 1  # 1-based file line number for error messages
         if not row or all(not cell.strip() for cell in row):
             continue
         if len(row) < 3:
-            raise ValueError(f"trace row {i + start} has fewer than 3 columns: {row!r}")
+            raise ValueError(f"trace file {path} line {line} has fewer than "
+                             f"3 columns: {row!r}")
+        try:
+            arrival = float(row[2])
+        except ValueError:
+            raise ValueError(f"trace file {path} line {line}: arrival time "
+                             f"{row[2]!r} is not a number") from None
+        if not math.isfinite(arrival):
+            # NaN would sail through the monotonicity comparison below.
+            raise ValueError(f"trace file {path} line {line}: arrival time "
+                             f"{row[2]!r} is not finite")
+        if previous_arrival is not None and arrival < previous_arrival:
+            raise ValueError(
+                f"trace file {path} line {line}: arrival time {arrival} is "
+                f"earlier than the previous row's {previous_arrival} — "
+                f"arrival times must be monotonically non-decreasing")
+        previous_arrival = arrival
+        try:
+            input_tokens = max(1, int(float(row[0])))
+            output_tokens = max(1, int(float(row[1])))
+        except ValueError:
+            raise ValueError(f"trace file {path} line {line}: token counts "
+                             f"{row[0]!r}/{row[1]!r} are not numbers") from None
         requests.append(Request(
             request_id=len(requests),
-            input_tokens=int(float(row[0])),
-            output_tokens=int(float(row[1])),
-            arrival_time=float(row[2]),
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+            arrival_time=arrival,
         ))
-    return RequestTrace(requests=requests, dataset=dataset, arrival_process="file")
+    return RequestTrace(requests=requests, dataset=dataset,
+                        arrival_process=arrival_process)
 
 
 def _is_number(text: str) -> bool:

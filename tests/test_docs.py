@@ -20,10 +20,13 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main as cli_main
-from repro.core.config import AutoscaleConfig, ClusterConfig, ReplicaSpec, ServingSimConfig
+from repro.core.config import (AutoscaleConfig, ClusterConfig, ReplicaSpec,
+                               ServingSimConfig, TraceReplayConfig)
+from repro.workload.replay import TraceReplayArrivalGenerator
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
+TRACES_DIR = REPO_ROOT / "examples" / "traces"
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
@@ -37,14 +40,16 @@ def markdown_files():
 
 class TestDocsTreeExists:
     @pytest.mark.parametrize("page", ["architecture.md", "cluster.md",
-                                      "configuration.md", "performance.md"])
+                                      "configuration.md", "performance.md",
+                                      "scheduler.md", "workloads.md"])
     def test_docs_pages_exist(self, page):
         assert (DOCS_DIR / page).is_file()
 
     def test_readme_links_every_docs_page(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for page in ("docs/architecture.md", "docs/cluster.md",
-                     "docs/configuration.md", "docs/performance.md"):
+                     "docs/configuration.md", "docs/performance.md",
+                     "docs/scheduler.md", "docs/workloads.md"):
             assert page in readme, f"README does not link {page}"
 
 
@@ -74,7 +79,8 @@ class TestMarkdownLinks:
 class TestConfigReferenceCompleteness:
     """docs/configuration.md must list exactly the dataclass fields."""
 
-    DOCUMENTED_CLASSES = [ServingSimConfig, ClusterConfig, ReplicaSpec, AutoscaleConfig]
+    DOCUMENTED_CLASSES = [ServingSimConfig, ClusterConfig, ReplicaSpec,
+                          AutoscaleConfig, TraceReplayConfig]
 
     @staticmethod
     def table_fields(section_name):
@@ -132,3 +138,39 @@ class TestReadmeClusterCommands:
             assert cli_main(argv) == 0, f"documented command failed: {argv}"
             out = capsys.readouterr().out
             assert "requests finished" in out
+
+
+class TestTraceDocs:
+    """The committed sample traces and the --trace* flag reference stay honest."""
+
+    TRACE_FLAGS = ["--trace", "--trace-format", "--trace-rate-scale",
+                   "--trace-window", "--trace-sample"]
+
+    @pytest.mark.parametrize("filename,trace_format",
+                             [("sample.tsv", "tsv"), ("sample_azure.csv", "azure")])
+    def test_committed_sample_trace_parses(self, filename, trace_format):
+        trace = TraceReplayArrivalGenerator(
+            TRACES_DIR / filename, trace_format=trace_format).generate()
+        assert len(trace) > 100, f"{filename} should hold a few hundred rows"
+        assert trace.requests[0].arrival_time == 0.0
+
+    def test_sample_formats_encode_the_same_trace(self):
+        tsv = TraceReplayArrivalGenerator(TRACES_DIR / "sample.tsv", "tsv").generate()
+        azure = TraceReplayArrivalGenerator(TRACES_DIR / "sample_azure.csv",
+                                            "azure").generate()
+        assert ([(r.input_tokens, r.output_tokens, round(r.arrival_time, 6))
+                 for r in tsv]
+                == [(r.input_tokens, r.output_tokens, round(r.arrival_time, 6))
+                    for r in azure])
+
+    def test_trace_flags_documented_in_configuration_reference(self):
+        text = (DOCS_DIR / "configuration.md").read_text()
+        for flag in self.TRACE_FLAGS:
+            assert flag in text, (f"docs/configuration.md does not document "
+                                  f"the {flag} flag")
+
+    def test_trace_flags_documented_in_workloads_page(self):
+        text = (DOCS_DIR / "workloads.md").read_text()
+        for flag in self.TRACE_FLAGS:
+            assert flag in text, (f"docs/workloads.md does not mention "
+                                  f"the {flag} flag")

@@ -1,0 +1,388 @@
+"""Trace replay tests: format adapters, replay transforms, full-stack round trips."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import (ClusterConfig, ClusterSimulator, ServingSimConfig,
+                   TraceReplayConfig)
+from repro.bench import cluster_result_fingerprint
+from repro.cli import main as cli_main
+from repro.workload import (Request, TraceReplayArrivalGenerator, available_arrivals,
+                            generate_trace, load_trace, read_azure_trace,
+                            read_trace, trace_from_config, write_trace)
+from repro.workload.generator import RequestTrace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SAMPLE_AZURE = REPO_ROOT / "examples" / "traces" / "sample_azure.csv"
+SAMPLE_TSV = REPO_ROOT / "examples" / "traces" / "sample.tsv"
+
+
+def write_azure_csv(path, rows, header="TIMESTAMP,ContextTokens,GeneratedTokens"):
+    path.write_text("\n".join([header] + rows) + "\n")
+    return path
+
+
+def trace_signature(trace):
+    return [(r.input_tokens, r.output_tokens, pytest.approx(r.arrival_time, abs=1e-6))
+            for r in trace]
+
+
+class TestAzureReader:
+    def test_iso_timestamps_normalised_to_relative_seconds(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", [
+            "2024-05-10 00:00:10.500000,32,8",
+            "2024-05-10 00:00:12.000000,16,4",
+        ])
+        trace = read_azure_trace(path)
+        assert [r.arrival_time for r in trace] == [0.0, 1.5]
+        assert trace.requests[0].input_tokens == 32
+        assert trace.arrival_process == "replay"
+
+    def test_numeric_timestamps_accepted(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["100.0,10,5", "101.25,20,6"])
+        trace = read_azure_trace(path)
+        assert [r.arrival_time for r in trace] == [0.0, 1.25]
+
+    def test_seven_digit_fractions_accepted(self, tmp_path):
+        # The public Azure traces carry 7 fractional digits, which Python
+        # 3.10's fromisoformat rejects without the trimming the reader does.
+        path = write_azure_csv(tmp_path / "t.csv", [
+            "2023-11-16T18:01:02.1234567,10,5",
+            "2023-11-16T18:01:03.1234567,10,5",
+        ])
+        trace = read_azure_trace(path)
+        assert trace.requests[1].arrival_time == pytest.approx(1.0)
+
+    def test_column_order_and_extra_columns_ignored(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv",
+                               ["req-1,5,0.0,11", "req-2,6,2.0,12"],
+                               header="RequestId,generatedtokens,timestamp,CONTEXTTOKENS")
+        trace = read_azure_trace(path)
+        assert trace.requests[0].input_tokens == 11
+        assert trace.requests[0].output_tokens == 5
+        assert trace.requests[1].arrival_time == 2.0
+
+    def test_zero_token_rows_floored_to_one(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["0.0,0,0"])
+        trace = read_azure_trace(path)
+        assert trace.requests[0].input_tokens == 1
+        assert trace.requests[0].output_tokens == 1
+
+    def test_utc_offsets_respected_alongside_fractions(self, tmp_path):
+        # +05:30 with fractional seconds: the offset digits must not be
+        # scavenged into the fraction (they were, before the regex fix).
+        path = write_azure_csv(tmp_path / "t.csv", [
+            "2024-05-10 00:00:00.500000+05:30,10,5",
+            "2024-05-09 18:30:01.500000Z,10,5",  # same instant + 1s, as UTC
+        ])
+        trace = read_azure_trace(path)
+        assert trace.requests[1].arrival_time == pytest.approx(1.0)
+
+    def test_blank_lines_do_not_shift_error_line_numbers(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv",
+                               ["5.0,10,5", "", "6.0,10,5", "4.0,10,5"])
+        with pytest.raises(ValueError, match="line 5"):
+            read_azure_trace(path)
+
+    def test_missing_column_raises(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["0.0,10"],
+                               header="TIMESTAMP,ContextTokens")
+        with pytest.raises(ValueError, match="GeneratedTokens"):
+            read_azure_trace(path)
+
+    def test_non_monotonic_raises_with_line_number(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv",
+                               ["5.0,10,5", "6.0,10,5", "4.0,10,5"])
+        with pytest.raises(ValueError, match="line 4"):
+            read_azure_trace(path)
+
+    def test_short_row_raises_with_line_number(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["0.0,10,5", "1.0,10"])
+        with pytest.raises(ValueError, match="line 3"):
+            read_azure_trace(path)
+
+    def test_unparseable_timestamp_raises(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["yesterday,10,5"])
+        with pytest.raises(ValueError, match="TIMESTAMP"):
+            read_azure_trace(path)
+
+    def test_bad_token_cell_names_the_line(self, tmp_path):
+        path = write_azure_csv(tmp_path / "t.csv", ["0.0,10,5", "1.0,abc,5"])
+        with pytest.raises(ValueError, match="line 3.*ContextTokens"):
+            read_azure_trace(path)
+
+    def test_non_finite_timestamp_rejected(self, tmp_path):
+        # 'nan' passes float() but defeats the monotonicity check — it must
+        # be rejected loudly, not poison every arrival time.
+        path = write_azure_csv(tmp_path / "t.csv", ["nan,10,5", "1.0,10,5"])
+        with pytest.raises(ValueError, match="finite"):
+            read_azure_trace(path)
+
+    def test_empty_and_header_only_files_raise(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_azure_trace(empty)
+        header_only = write_azure_csv(tmp_path / "h.csv", [])
+        with pytest.raises(ValueError, match="no data rows"):
+            read_azure_trace(header_only)
+
+    def test_load_trace_dispatch(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            load_trace(SAMPLE_TSV, "parquet")
+        assert load_trace(SAMPLE_AZURE, "azure").dataset == "sample_azure"
+
+
+class TestReadTraceValidation:
+    def test_arrival_process_label_preserved(self, tmp_path):
+        trace = generate_trace("alpaca", 5, arrival="poisson", seed=1)
+        path = write_trace(trace, tmp_path / "t.tsv")
+        assert read_trace(path).arrival_process == "file"
+        assert read_trace(path, arrival_process="poisson").arrival_process == "poisson"
+
+    def test_non_monotonic_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10\t20\t1.0\n10\t20\t2.0\n10\t20\t0.5\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_trace(path)
+
+    def test_non_finite_arrival_time_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10\t20\tnan\n10\t20\t1.0\n")
+        with pytest.raises(ValueError, match="finite"):
+            read_trace(path)
+
+    def test_bad_cells_name_the_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10\t20\t0.0\nten\t20\t1.0\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+        path.write_text("10\t20\t0.0\n10\t20\tlater\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+
+    def test_zero_token_rows_floored_like_the_azure_reader(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0\t0\t0.0\n10\t20\t1.0\n")
+        trace = read_trace(path)
+        assert trace.requests[0].input_tokens == 1
+        assert trace.requests[0].output_tokens == 1
+
+
+class TestReplayGenerator:
+    def test_committed_sample_formats_are_equivalent(self):
+        azure = TraceReplayArrivalGenerator(SAMPLE_AZURE, "azure").generate()
+        tsv = TraceReplayArrivalGenerator(SAMPLE_TSV, "tsv").generate()
+        assert len(azure) == len(tsv) > 100
+        assert trace_signature(azure) == trace_signature(tsv)
+
+    def test_replay_starts_at_zero(self):
+        trace = TraceReplayArrivalGenerator(SAMPLE_AZURE, "azure").generate()
+        assert trace.requests[0].arrival_time == 0.0
+
+    def test_rate_scale_compresses_the_timeline(self):
+        base = TraceReplayArrivalGenerator(SAMPLE_TSV).generate()
+        fast = TraceReplayArrivalGenerator(SAMPLE_TSV, rate_scale=2.0).generate()
+        assert fast.duration == pytest.approx(base.duration / 2.0)
+        assert len(fast) == len(base)
+
+    def test_window_slices_and_rezeros(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("".join(f"10\t5\t{i}.0\n" for i in range(10)))
+        trace = TraceReplayArrivalGenerator(path, window=(2.0, 6.0)).generate()
+        assert [r.arrival_time for r in trace] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_sample_is_deterministic_and_order_preserving(self):
+        a = TraceReplayArrivalGenerator(SAMPLE_TSV, sample=0.25, seed=5).generate()
+        b = TraceReplayArrivalGenerator(SAMPLE_TSV, sample=0.25, seed=5).generate()
+        other = TraceReplayArrivalGenerator(SAMPLE_TSV, sample=0.25, seed=6).generate()
+        assert trace_signature(a) == trace_signature(b)
+        assert trace_signature(a) != trace_signature(other)
+        assert len(a) == 70  # floor(280 * 0.25)
+        arrivals = [r.arrival_time for r in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_length_clamping_to_model_limit_warns_and_counts(self):
+        generator = TraceReplayArrivalGenerator(SAMPLE_TSV, max_seq_len=32)
+        with pytest.warns(UserWarning, match="clamped"):
+            trace = generator.generate()
+        assert all(r.input_tokens + r.output_tokens <= 32 for r in trace)
+        assert all(r.output_tokens >= 1 for r in trace)
+        assert generator.last_clamp_count > 0
+
+    def test_no_clamp_no_warning(self, recwarn):
+        generator = TraceReplayArrivalGenerator(SAMPLE_TSV, max_seq_len=2048)
+        generator.generate()
+        assert generator.last_clamp_count == 0
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_generate_cap(self):
+        generator = TraceReplayArrivalGenerator(SAMPLE_TSV)
+        assert len(generator.generate(10)) == 10
+        assert len(generator.generate(10 ** 6)) == len(generator)
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayArrivalGenerator(SAMPLE_TSV, rate_scale=0.0)
+        with pytest.raises(ValueError):
+            TraceReplayArrivalGenerator(SAMPLE_TSV, sample=0.0)
+        with pytest.raises(ValueError):
+            TraceReplayArrivalGenerator(SAMPLE_TSV, sample=1.5)
+        with pytest.raises(ValueError):
+            TraceReplayArrivalGenerator(SAMPLE_TSV, window=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            TraceReplayArrivalGenerator(SAMPLE_TSV, max_seq_len=1)
+
+    def test_generate_trace_registry_dispatch(self):
+        assert "replay" in available_arrivals()
+        trace = generate_trace("ignored", 8, arrival="replay",
+                               trace_path=str(SAMPLE_AZURE), trace_format="azure")
+        assert trace.arrival_process == "replay"
+        assert len(trace) == 8
+        with pytest.raises(ValueError, match="trace_path"):
+            generate_trace("alpaca", 8, arrival="replay")
+
+
+class TestTraceReplayConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="")
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="t.tsv", format="parquet")
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="t.tsv", rate_scale=-1.0)
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="t.tsv", sample=2.0)
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="t.tsv", window=(3.0, 2.0))
+        with pytest.raises(ValueError):
+            TraceReplayConfig(path="t.tsv", max_requests=0)
+
+    def test_trace_from_config_applies_transforms(self):
+        config = TraceReplayConfig(path=str(SAMPLE_AZURE), format="azure",
+                                   rate_scale=2.0, max_requests=12)
+        with pytest.warns(UserWarning, match="clamped"):
+            trace = trace_from_config(config, max_seq_len=48)
+        assert len(trace) == 12
+        assert all(r.input_tokens + r.output_tokens <= 48 for r in trace)
+
+
+def replica_config(**overrides):
+    defaults = dict(model_name="gpt2", npu_num=1, npu_mem_gb=4.0)
+    defaults.update(overrides)
+    return ServingSimConfig(**defaults)
+
+
+def exact_requests(num_requests=10):
+    """Requests whose arrival times survive the TSV's 6-decimal round trip.
+
+    Multiples of 1/8 are exact in binary and in 6-decimal text, so the
+    file-replayed trace is bit-identical to the in-memory one — a
+    requirement for fingerprint equality, not just approximate agreement.
+    """
+    return [Request(i, input_tokens=8 + 3 * i, output_tokens=4 + (i % 3),
+                    arrival_time=0.125 * (i // 2))
+            for i in range(num_requests)]
+
+
+class TestFullStackRoundTrip:
+    """write_trace -> read_trace -> ClusterSimulator must equal the in-memory run."""
+
+    @pytest.mark.parametrize("backend", ["serial", "process-pool"])
+    def test_tsv_round_trip_fingerprints_match(self, tmp_path, backend):
+        path = write_trace(
+            RequestTrace(requests=exact_requests(), dataset="t", arrival_process="file"),
+            tmp_path / "trace.tsv")
+
+        def config():
+            return ClusterConfig(num_replicas=2, routing="least-outstanding",
+                                 execution_backend=backend,
+                                 replica=replica_config())
+
+        # Requests are mutated by a run: each arm gets a fresh workload.
+        in_memory = ClusterSimulator(config()).run(exact_requests())
+        from_file = ClusterSimulator(config()).run(read_trace(path))
+        assert (cluster_result_fingerprint(in_memory)
+                == cluster_result_fingerprint(from_file))
+
+    def test_azure_round_trip_fingerprints_match(self, tmp_path):
+        requests = exact_requests()
+        rows = [f"{r.arrival_time},{r.input_tokens},{r.output_tokens}"
+                for r in requests]
+        path = write_azure_csv(tmp_path / "trace.csv", rows,
+                               header="TIMESTAMP,ContextTokens,GeneratedTokens")
+
+        config = ClusterConfig(num_replicas=2, routing="round-robin",
+                               replica=replica_config())
+        in_memory = ClusterSimulator(config).run(exact_requests())
+        from_file = ClusterSimulator(config).run(read_azure_trace(path))
+        assert (cluster_result_fingerprint(in_memory)
+                == cluster_result_fingerprint(from_file))
+
+
+class TestClusterReplayIntegration:
+    def test_run_without_workload_requires_trace_replay(self):
+        simulator = ClusterSimulator(ClusterConfig(replica=replica_config()))
+        with pytest.raises(ValueError, match="trace_replay"):
+            simulator.run()
+
+    def test_config_driven_replay_runs_and_scales_up(self):
+        from repro import AutoscaleConfig
+        config = ClusterConfig(
+            num_replicas=4, routing="least-outstanding",
+            replica=replica_config(),
+            autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4,
+                                      window_seconds=2.0, target_rate_per_replica=2.0,
+                                      warmup_seconds=0.2, cooldown_seconds=0.5),
+            trace_replay=TraceReplayConfig(path=str(SAMPLE_AZURE), format="azure",
+                                           rate_scale=4.0, max_requests=48))
+        result = ClusterSimulator(config).run()
+        assert len(result.finished_requests) == 48
+        # Replayed bursts must push the autoscaler off its 1-replica floor —
+        # the step-change scale-up path the smooth diurnal ramp never takes.
+        assert any(e.action == "scale-up" for e in result.scaling_timeline)
+
+
+class TestReplayCLI:
+    def test_cluster_subcommand_replays_azure_trace(self, capsys):
+        exit_code = cli_main([
+            "cluster", "--trace", str(SAMPLE_AZURE), "--trace-format", "azure",
+            "--trace-sample", "0.2", "--model-name", "gpt2", "--npu-num", "1",
+            "--npu-mem", "4", "--backend", "process-pool"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "requests finished     : 56/56" in out
+
+    def test_flat_interface_replays_tsv_trace(self, capsys):
+        exit_code = cli_main([
+            "--trace", str(SAMPLE_TSV), "--trace-window", "0:20",
+            "--model-name", "gpt2", "--npu-num", "1", "--npu-mem", "4"])
+        assert exit_code == 0
+        assert "requests" in capsys.readouterr().out
+
+    def test_invalid_trace_window_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["cluster", "--trace", str(SAMPLE_TSV),
+                      "--trace-window", "nonsense"])
+        assert "start:end" in capsys.readouterr().err
+
+    def test_missing_trace_file_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["cluster", "--trace", "no/such/trace.csv"])
+        assert "does not exist" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli_main(["--trace", "no/such/trace.tsv"])
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_invalid_sample_and_rate_scale_are_usage_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["cluster", "--trace", str(SAMPLE_TSV),
+                      "--trace-sample", "2"])
+        assert "(0, 1]" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli_main(["cluster", "--trace", str(SAMPLE_TSV),
+                      "--trace-rate-scale", "-1"])
+        assert "positive" in capsys.readouterr().err
