@@ -1,29 +1,39 @@
 """Pluggable execution backends for the cluster simulation loop.
 
 :class:`~repro.cluster.simulator.ClusterSimulator` interleaves its replicas
-on arrival boundaries: between two arrivals every replica is advanced
-independently until its local clock catches up.  Those advances are
-embarrassingly parallel — replicas only interact through the router, which
-runs between them — so this module factors *how* they execute behind an
-:class:`ExecutionBackend`:
+on arrival boundaries: between two arrivals the stale replicas are advanced
+independently until their local clocks catch up.  Those advances are
+embarrassingly parallel — replicas only interact through the router (which
+runs between them) and the shared iteration cache (which is exact, so
+sharing never changes results) — so this module factors *how* they execute
+behind an :class:`ExecutionBackend`:
 
 * :class:`SerialBackend` (``"serial"``) steps every replica in-process, in
   index order.  This is the reference implementation.
 * :class:`ProcessPoolBackend` (``"process-pool"``) hosts each replica in a
-  persistent worker process.  The master broadcasts
-  ``advance_until``/``submit``/``drain`` commands over pipes and gathers a
-  compact :class:`ReplicaLoadSnapshot` per reply — exactly the load view
-  the routing policies observe — so routing, autoscaling and lifecycle
-  management stay in the master while the expensive per-iteration
-  simulation fans out across cores.
+  persistent worker process and drives it with **batched event windows**:
+  one ``("window", submits, advance_to, drain, cap)`` round-trip delivers
+  every submit routed to a replica since its last advance *and* the advance
+  itself, instead of one pipe round-trip per tick.  Routed submits are
+  deferred master-side — ``submit`` costs zero round-trips; the master
+  patches its local :class:`ReplicaLoadSnapshot` (one more outstanding
+  request, ``has_work`` true — exactly what ``scheduler.submit`` changes)
+  and the requests piggyback on the replica's next window.  Replicas that
+  are idle or already caught up get no round-trip at all under the
+  event-driven engine, because the cluster loop only calls
+  :meth:`ExecutionBackend.advance` on stale replicas.
 
 Both backends produce **bit-identical** simulation results: the per-replica
-simulations are deterministic and the router sees the same load views at
-the same points of the arrival loop.  The only observable difference is
-simulator-side accounting when iteration-level reuse is enabled — the
-serial backend shares one reuse cache per replica class, while worker
-processes keep private caches, so *hit counters* (never latencies) can
-differ between backends.
+simulations are deterministic, a worker applies its window's submits in
+routing order before advancing (the same order the serial backend runs
+them), and the router sees the same load views at the same points of the
+arrival loop.  When iteration-level reuse is enabled the master's per-class
+:class:`~repro.engine.iteration_cache.SharedIterationCache` instances are
+served to the workers by an
+:class:`~repro.engine.iteration_cache.IterationCacheService` over dedicated
+cache pipes, with singleflight deduplication — so cross-replica cache hits
+(and cluster-wide hit/miss totals) match the serial backend instead of
+each worker re-simulating its siblings' iterations in a private cache.
 
 Backends are registered by name like routing policies, so experiments can
 plug in alternatives (e.g. a thread pool for a GIL-free interpreter)
@@ -32,12 +42,16 @@ through :func:`register_backend`.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    TYPE_CHECKING)
 
 from ..core.results import ServingResult
+from ..engine.iteration_cache import (IterationCacheService, IterationReuseCache,
+                                      RemoteIterationCache)
 from ..workload.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -91,16 +105,26 @@ class ExecutionBackend:
     """How the cluster loop executes its independent replica simulations.
 
     A backend is bound to the master's replica list once per run and then
-    driven through the arrival loop: ``advance_all`` between arrivals,
+    driven through the arrival loop: ``advance`` (event-driven engine, stale
+    replicas only) or ``advance_all`` (lockstep engine) between arrivals,
     ``submit`` after routing, ``drain_all`` once every request is placed,
     ``collect_results`` for the per-replica outcomes, ``close`` for
     teardown.  Implementations must keep each master replica's load view
-    current (the router reads it right after ``advance_all``).
+    current (the router reads it right after an advance), though ``submit``
+    may defer the actual hand-off as long as the load view reflects it.
     """
 
     name = "base"
 
-    def bind(self, replicas: Sequence["Replica"]) -> None:
+    def bind(self, replicas: Sequence["Replica"],
+             iteration_caches: Optional[Mapping[str, IterationReuseCache]] = None,
+             ) -> None:
+        """Attach to the master's replicas (and their shared caches) for a run."""
+        raise NotImplementedError
+
+    def advance(self, indices: Sequence[int], time: float,
+                max_iterations: Optional[int] = None) -> None:
+        """Advance the listed replicas until their clocks reach ``time``."""
         raise NotImplementedError
 
     def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
@@ -130,8 +154,17 @@ class SerialBackend(ExecutionBackend):
     def __init__(self) -> None:
         self._replicas: List["Replica"] = []
 
-    def bind(self, replicas: Sequence["Replica"]) -> None:
+    def bind(self, replicas: Sequence["Replica"],
+             iteration_caches: Optional[Mapping[str, IterationReuseCache]] = None,
+             ) -> None:
+        # Replicas already hold their shared per-class caches in-process;
+        # no extra cache plumbing is needed serially.
         self._replicas = list(replicas)
+
+    def advance(self, indices: Sequence[int], time: float,
+                max_iterations: Optional[int] = None) -> None:
+        for index in indices:
+            self._replicas[index].advance_until(time, max_iterations)
 
     def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
         for replica in self._replicas:
@@ -148,20 +181,34 @@ class SerialBackend(ExecutionBackend):
         return [replica.simulator.collect_result() for replica in self._replicas]
 
 
-def _replica_worker_main(conn, config, replica_id: int, class_name: str) -> None:
+def _replica_worker_main(conn, cache_conn, config, replica_id: int,
+                         class_name: str) -> None:
     """Command loop of one persistent replica worker process.
 
     Builds a fresh replica from its configuration (state must start clean
-    regardless of the start method) and serves commands until ``close`` or
-    the pipe drops.  Replies are ``("ok", payload)`` or ``("error",
-    traceback_text)``; the master re-raises the latter.
+    regardless of the start method), announces readiness with its pristine
+    load snapshot, and serves commands until ``close`` or the pipe drops.
+    Replies are ``("ok", payload)`` or ``("error", traceback_text)``; the
+    master re-raises the latter.
+
+    The one substantive command is the batched event window
+    ``("window", submits, advance_to, drain, max_iterations)``: apply the
+    deferred submits in routing order, advance to ``advance_to`` (when not
+    ``None``), drain when asked, reply with the post-window snapshot.
+
+    When ``cache_conn`` is set, the replica's iteration cache is a
+    :class:`~repro.engine.iteration_cache.RemoteIterationCache` proxy of the
+    master's shared per-class cache, giving this worker singleflight-
+    deduplicated cross-replica reuse.
     """
-    from ..core.simulator import LLMServingSim
     from .simulator import Replica
 
     try:
-        replica = Replica(replica_id, LLMServingSim(config), class_name=class_name)
-    except Exception:  # pragma: no cover - construction mirrors the master's
+        cache = RemoteIterationCache(cache_conn) if cache_conn is not None else None
+        replica = Replica(replica_id, config, class_name=class_name,
+                          iteration_cache=cache)
+        conn.send(("ok", snapshot_replica(replica)))
+    except Exception:
         conn.send(("error", traceback.format_exc()))
         conn.close()
         return
@@ -170,16 +217,14 @@ def _replica_worker_main(conn, config, replica_id: int, class_name: str) -> None
             message = conn.recv()
             command = message[0]
             try:
-                if command == "advance":
-                    replica.advance_until(message[1], message[2])
-                    conn.send(("ok", snapshot_replica(replica)))
-                elif command == "submit":
-                    replica.submit(message[1])
-                    conn.send(("ok", snapshot_replica(replica)))
-                elif command == "drain":
-                    _drain_replica(replica, message[1])
-                    conn.send(("ok", snapshot_replica(replica)))
-                elif command == "snapshot":
+                if command == "window":
+                    _, submits, advance_to, drain, max_iterations = message
+                    for request in submits:
+                        replica.submit(request)
+                    if advance_to is not None:
+                        replica.advance_until(advance_to, max_iterations)
+                    if drain:
+                        _drain_replica(replica, max_iterations)
                     conn.send(("ok", snapshot_replica(replica)))
                 elif command == "collect":
                     conn.send(("ok", replica.simulator.collect_result()))
@@ -199,15 +244,23 @@ def _replica_worker_main(conn, config, replica_id: int, class_name: str) -> None
 class ProcessPoolBackend(ExecutionBackend):
     """Host each replica in a persistent worker process.
 
-    The worker executes ``advance_until``/``submit`` commands received over
-    a pipe and replies with the compact :class:`ReplicaLoadSnapshot` the
-    router selects on.  ``advance_all`` and ``drain_all`` broadcast first
-    and gather second, so all replicas simulate concurrently; ``submit`` is
-    a cheap synchronous round-trip to one worker.
+    Workers execute batched event windows received over a pipe and reply
+    with the compact :class:`ReplicaLoadSnapshot` the router selects on.
+    ``submit`` never touches a pipe: the request is queued master-side, the
+    master's snapshot is patched with exactly the state change
+    ``scheduler.submit`` would make, and the queued requests ride along
+    with the replica's next window (its next advance, or the final drain).
+    ``advance`` fans windows out to the stale replicas only and gathers
+    their snapshots concurrently; ``advance_all``/``drain_all`` broadcast
+    to everyone.
 
-    Worker replicas are rebuilt from their configuration, so per-class
-    iteration-reuse caches are private to each worker (see the module
-    docstring for why this only affects hit counters, not results).
+    Worker replicas are rebuilt from their configuration in the worker
+    process; the master-side :class:`~repro.cluster.simulator.Replica`
+    objects stay snapshot-backed and never build their simulators.  Shared
+    per-class iteration caches are served to workers by an
+    :class:`~repro.engine.iteration_cache.IterationCacheService` thread in
+    the master (started only after every worker is forked), so reuse
+    behaves as if all replicas shared one in-process cache.
     """
 
     name = "process-pool"
@@ -220,28 +273,46 @@ class ProcessPoolBackend(ExecutionBackend):
         self._replicas: List["Replica"] = []
         self._connections: list = []
         self._processes: list = []
+        self._pending_submits: List[List[Request]] = []
+        self._cache_service: Optional[IterationCacheService] = None
 
-    def bind(self, replicas: Sequence["Replica"]) -> None:
+    def bind(self, replicas: Sequence["Replica"],
+             iteration_caches: Optional[Mapping[str, IterationReuseCache]] = None,
+             ) -> None:
         self.close()
         self._replicas = list(replicas)
         self._connections = []
         self._processes = []
+        self._pending_submits = [[] for _ in self._replicas]
+        service = (IterationCacheService(dict(iteration_caches))
+                   if iteration_caches else None)
         for replica in self._replicas:
             parent_conn, child_conn = self._context.Pipe()
+            cache_conn = None
+            if service is not None and replica.iteration_cache is not None:
+                cache_conn = service.register(replica.class_name)
             process = self._context.Process(
                 target=_replica_worker_main,
-                args=(child_conn, replica.simulator.config,
+                args=(child_conn, cache_conn, replica.config,
                       replica.replica_id, replica.class_name),
                 daemon=True,
                 name=f"replica-worker-{replica.replica_id}",
             )
             process.start()
             child_conn.close()
+            if cache_conn is not None:
+                cache_conn.close()
             self._connections.append(parent_conn)
             self._processes.append(process)
-        # Detach the master replicas from their local simulators and seed
-        # their load views with the workers' pristine state.
-        self._broadcast(("snapshot",))
+        # Gather the ready handshakes: the workers' pristine snapshots detach
+        # the master replicas from their (never-built) local simulators.
+        for index, replica in enumerate(self._replicas):
+            replica.attach_snapshot(self._receive(index))
+        # Start serving the shared caches only now — forking a process while
+        # the service thread holds locks would be undefined behaviour.
+        if service is not None:
+            service.start()
+        self._cache_service = service
 
     # -- pipe plumbing ---------------------------------------------------------
 
@@ -255,24 +326,47 @@ class ProcessPoolBackend(ExecutionBackend):
             raise RuntimeError(f"replica worker {index} failed:\n{payload}")
         return payload
 
-    def _broadcast(self, message: tuple) -> None:
-        """Send one command to every worker, then gather all snapshots."""
-        for connection in self._connections:
-            connection.send(message)
-        for index, replica in enumerate(self._replicas):
-            replica.attach_snapshot(self._receive(index))
+    def _send_window(self, index: int, advance_to: Optional[float], drain: bool,
+                     max_iterations: Optional[int]) -> None:
+        """Ship one replica's deferred submits plus an advance/drain order."""
+        submits = self._pending_submits[index]
+        self._pending_submits[index] = []
+        self._connections[index].send(
+            ("window", submits, advance_to, drain, max_iterations))
+
+    def _gather(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            self._replicas[index].attach_snapshot(self._receive(index))
 
     # -- ExecutionBackend interface --------------------------------------------
 
+    def advance(self, indices: Sequence[int], time: float,
+                max_iterations: Optional[int] = None) -> None:
+        for index in indices:
+            self._send_window(index, time, False, max_iterations)
+        self._gather(indices)
+
     def advance_all(self, time: float, max_iterations: Optional[int] = None) -> None:
-        self._broadcast(("advance", time, max_iterations))
+        self.advance(range(len(self._replicas)), time, max_iterations)
 
     def submit(self, index: int, request: Request) -> None:
-        self._connections[index].send(("submit", request))
-        self._replicas[index].attach_snapshot(self._receive(index))
+        # Defer the hand-off (it piggybacks on the next window) but reflect
+        # it in the load view immediately: ``scheduler.submit`` appends to
+        # the pending queue, so exactly ``outstanding_requests`` and
+        # ``has_work`` change — the clock, KV occupancy and iteration
+        # counters do not.
+        self._pending_submits[index].append(request)
+        snapshot = self._replicas[index]._snapshot
+        self._replicas[index].attach_snapshot(dataclasses.replace(
+            snapshot,
+            outstanding_requests=snapshot.outstanding_requests + 1,
+            has_work=True))
 
     def drain_all(self, max_iterations: Optional[int] = None) -> None:
-        self._broadcast(("drain", max_iterations))
+        indices = range(len(self._replicas))
+        for index in indices:
+            self._send_window(index, None, True, max_iterations)
+        self._gather(indices)
 
     def collect_results(self) -> List[ServingResult]:
         for connection in self._connections:
@@ -286,6 +380,12 @@ class ProcessPoolBackend(ExecutionBackend):
             except (BrokenPipeError, OSError):
                 pass
             connection.close()
+        # Tear the cache service down after the close commands are out: a
+        # worker blocked on a cache reply sees its pipe drop and exits
+        # instead of deadlocking the joins below.
+        if self._cache_service is not None:
+            self._cache_service.close()
+            self._cache_service = None
         for process in self._processes:
             process.join(timeout=5.0)
             if process.is_alive():  # pragma: no cover - defensive teardown
@@ -293,6 +393,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 process.join(timeout=5.0)
         self._connections = []
         self._processes = []
+        self._pending_submits = []
 
 
 _BACKEND_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {

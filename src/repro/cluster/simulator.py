@@ -15,13 +15,29 @@ large), and each :class:`Replica` exposes capability signals — a roofline
 throughput estimate, its KV budget, its engine kind — so capability-aware
 routers can weigh *what* a replica is, not just how loaded it is.
 
-The cluster loop interleaves the replicas on arrival boundaries: before a
-request is routed, every replica is stepped until its local clock catches up
-with the arrival time, so load-aware policies (least-outstanding-requests,
-least-KV-utilization, predicted-TTFT) observe each replica's queue and
-memory state *as of the arrival*, not as of the end of the run.  Iterations
-in flight when a request arrives are allowed to finish first, matching how
-iteration-level schedulers pick up new work only at iteration boundaries.
+Two cluster engines drive the timeline, selected by ``ClusterConfig.engine``:
+
+* ``"event-driven"`` (default) pops arrival and warm-up events off a heap
+  and, at each arrival, advances only the replicas that are *stale* — those
+  with work whose local clock lags the arrival.  Idle, drained or stopped
+  replicas cost nothing, and under the ``process-pool`` backend they cost
+  no pipe round-trips either.
+* ``"lockstep"`` is the legacy reference loop: every replica receives an
+  ``advance_until`` at every arrival, even when it is a no-op.
+
+Both engines are **bit-identical**: a skipped advance is exactly one that
+``advance_until`` would have no-opped (``has_work`` false, clock already
+caught up, or the iteration cap reached), and routing policies, the
+autoscaler and lifecycle transitions observe the same replica views at the
+same arrival boundaries either way.  The determinism suite in
+``tests/test_backends.py`` pins this equivalence across engines *and*
+execution backends.
+
+Load-aware policies (least-outstanding-requests, least-KV-utilization,
+predicted-TTFT) observe each replica's queue and memory state *as of the
+arrival*, not as of the end of the run.  Iterations in flight when a
+request arrives are allowed to finish first, matching how iteration-level
+schedulers pick up new work only at iteration boundaries.
 
 When the config carries an :class:`~repro.core.config.AutoscaleConfig`, an
 :class:`~repro.cluster.autoscaler.Autoscaler` is threaded into the same
@@ -31,14 +47,19 @@ against its bounds, and contributes the scaling timeline to the result.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ClusterConfig, ServingSimConfig
 from ..core.simulator import LLMServingSim
-from ..engine.iteration_cache import IterationReuseCache
+from ..engine.iteration_cache import (IterationReuseCache, SharedIterationCache,
+                                      iteration_cache_file, load_iteration_cache,
+                                      save_iteration_cache)
+from ..models.architectures import get_model
 from ..models.graph import BatchComposition, SequenceSpec, build_iteration_graph
 from ..models.layers import Phase
 from ..models.roofline import DevicePeaks
+from ..scheduler.memory import compute_kv_budget
 from ..workload.generator import RequestTrace
 from ..workload.replay import trace_from_config
 from ..workload.request import Request
@@ -101,27 +122,46 @@ def estimate_device_throughput(config: ServingSimConfig, model) -> "tuple[float,
 class Replica:
     """One serving replica plus the load view the router selects on.
 
-    A replica normally reads its load signals straight off its in-process
-    simulator.  Under the ``process-pool`` execution backend the simulation
-    lives in a worker process instead; the backend then attaches a
-    :class:`~repro.cluster.backend.ReplicaLoadSnapshot` after every command
-    round-trip and the dynamic properties below read from it — the static
-    capability signals, lifecycle state and routing interface are identical
-    either way.
+    A replica is constructed from its configuration only; the in-process
+    :class:`~repro.core.simulator.LLMServingSim` behind the ``simulator``
+    property is built lazily on first use.  Under the ``process-pool``
+    execution backend the simulation lives in a worker process instead: the
+    backend attaches a :class:`~repro.cluster.backend.ReplicaLoadSnapshot`
+    after every command round-trip, the dynamic properties below read from
+    it, and the master-side simulator is **never built** — the static
+    capability signals, lifecycle state and routing interface are derived
+    from the configuration alone and are identical either way.
     """
 
-    def __init__(self, replica_id: int, simulator: LLMServingSim,
-                 class_name: str = "default") -> None:
+    def __init__(self, replica_id: int, config: ServingSimConfig,
+                 class_name: str = "default",
+                 iteration_cache: Optional[IterationReuseCache] = None) -> None:
         self.replica_id = replica_id
-        self.simulator = simulator
+        self.config = config
         self.class_name = class_name
+        self.iteration_cache = iteration_cache
+        self.model = get_model(config.model_name)
         self.lifecycle = ReplicaLifecycle.ACTIVE
         self.warm_at = 0.0
         self._iterations_run = 0
         self._latency_sum = 0.0
+        self._simulator: Optional[LLMServingSim] = None
+        self._kv_budget: Optional[int] = None
         self._snapshot: Optional[ReplicaLoadSnapshot] = None
         self._capability, self._estimated_latency = estimate_device_throughput(
-            simulator.config, simulator.model)
+            config, self.model)
+
+    @property
+    def simulator(self) -> LLMServingSim:
+        """The in-process simulation stack, built on first access.
+
+        Snapshot-backed replicas (process-pool master side) never touch this
+        property, so the master skips N redundant stack constructions.
+        """
+        if self._simulator is None:
+            self._simulator = LLMServingSim(self.config,
+                                            iteration_cache=self.iteration_cache)
+        return self._simulator
 
     def attach_snapshot(self, snapshot: ReplicaLoadSnapshot) -> None:
         """Detach from the local simulator: serve load views from ``snapshot``."""
@@ -177,13 +217,18 @@ class Replica:
 
     @property
     def kv_budget_bytes(self) -> int:
-        """Total KV-cache capacity of this replica."""
-        return self.simulator.kv_manager.capacity_bytes
+        """Total KV-cache capacity of this replica (derived from its config)."""
+        if self._kv_budget is None:
+            self._kv_budget = (self.config.kv_capacity_bytes
+                               or compute_kv_budget(self.model, self.config.npu_num,
+                                                    self.config.npu_mem_bytes
+                                                    ).kv_capacity_bytes)
+        return self._kv_budget
 
     @property
     def engine_kind(self) -> str:
         """``"npu"`` or ``"npu+pim"``, the replica's accelerator complement."""
-        return "npu" if self.simulator.config.pim_type == "none" else "npu+pim"
+        return "npu" if self.config.pim_type == "none" else "npu+pim"
 
     @property
     def is_routable(self) -> bool:
@@ -234,6 +279,17 @@ class Replica:
             return self._snapshot.has_work
         return self.simulator.has_work
 
+    def needs_advance(self, time: float, max_iterations: Optional[int] = None) -> bool:
+        """Whether ``advance_until(time, max_iterations)`` would do anything.
+
+        This is the event-driven engine's staleness predicate; it mirrors
+        :meth:`advance_until`'s loop condition exactly, which is what makes
+        skipping non-stale replicas provably a no-op.
+        """
+        if not self.has_work or self.clock >= time:
+            return False
+        return max_iterations is None or self.iterations_run < max_iterations
+
     def submit(self, request: Request) -> None:
         self.simulator.submit([request])
 
@@ -262,7 +318,8 @@ class ClusterSimulator:
     ----------
     config:
         Cluster shape (homogeneous template or heterogeneous replica specs),
-        the routing policy and optional autoscaling bounds.
+        the routing policy, the cluster engine (event-driven or lockstep)
+        and optional autoscaling bounds.
     router:
         Optional pre-built routing policy; defaults to the policy named by
         ``config.routing``.  Custom policies registered through
@@ -279,10 +336,14 @@ class ClusterSimulator:
     Replicas of the same class whose configuration enables
     ``enable_iteration_reuse`` share one iteration-level reuse cache
     (``iteration_caches``, keyed by class name): a decode iteration
-    simulated on one replica is a cache hit on every sibling.  Worker
-    processes of the ``process-pool`` backend rebuild their replicas and
-    therefore keep private caches — hit *counters* may differ from the
-    serial backend, simulated results never do.
+    simulated on one replica is a cache hit on every sibling.  The caches
+    are :class:`~repro.engine.iteration_cache.SharedIterationCache`
+    instances; under the ``process-pool`` backend they are served to the
+    worker processes through a singleflight cache service, so cross-replica
+    reuse holds under both backends.  When ``config.cache_dir`` is set the
+    per-class caches are warm-started from disk before the run and
+    persisted after it, so parameter sweeps pay for each unique iteration
+    signature once across runs.
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
@@ -292,19 +353,38 @@ class ClusterSimulator:
         self.router = router or build_router(self.config.routing)
         self.backend = backend or build_backend(self.config.execution_backend)
         self.iteration_caches: Dict[str, IterationReuseCache] = {}
+        self._class_configs: Dict[str, ServingSimConfig] = {}
         self.replicas: List[Replica] = []
         for i, (class_name, replica_config) in enumerate(self.config.expanded_replicas()):
+            self._class_configs.setdefault(class_name, replica_config)
             cache = None
             if replica_config.enable_iteration_reuse:
                 cache = self.iteration_caches.setdefault(class_name,
-                                                         IterationReuseCache())
-            self.replicas.append(Replica(
-                i, LLMServingSim(replica_config, iteration_cache=cache),
-                class_name=class_name))
+                                                         SharedIterationCache())
+            self.replicas.append(Replica(i, replica_config, class_name=class_name,
+                                         iteration_cache=cache))
+        if self.config.cache_dir is not None:
+            self._load_persistent_caches()
         self.autoscaler: Optional[Autoscaler] = (
             Autoscaler(self.config.autoscale, self.replicas)
             if self.config.autoscale is not None else None)
         self.assignments: Dict[int, int] = {}
+
+    # -- cache persistence ----------------------------------------------------
+
+    def _load_persistent_caches(self) -> None:
+        for class_name, cache in self.iteration_caches.items():
+            replica_config = self._class_configs[class_name]
+            load_iteration_cache(
+                cache, iteration_cache_file(self.config.cache_dir, replica_config),
+                replica_config)
+
+    def _save_persistent_caches(self) -> None:
+        for class_name, cache in self.iteration_caches.items():
+            replica_config = self._class_configs[class_name]
+            save_iteration_cache(
+                cache, iteration_cache_file(self.config.cache_dir, replica_config),
+                replica_config)
 
     # -- public API ------------------------------------------------------------
 
@@ -334,38 +414,18 @@ class ClusterSimulator:
                                  "with trace_replay set")
             workload = trace_from_config(
                 self.config.trace_replay,
-                max_seq_len=min(r.simulator.model.max_seq_len for r in self.replicas))
+                max_seq_len=min(r.model.max_seq_len for r in self.replicas))
         requests = (list(workload.requests) if isinstance(workload, RequestTrace)
                     else list(workload))
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))
 
         backend = self.backend
-        backend.bind(self.replicas)
+        backend.bind(self.replicas, self.iteration_caches)
         try:
-            for request in requests:
-                # Catch every replica up to this arrival so load-aware
-                # policies see current queue depth and KV occupancy (the
-                # backend may fan the advances out across processes);
-                # refresh lifecycles (warm-ups that elapsed, drains that
-                # completed), let the autoscaler react to the arrival, then
-                # route.
-                now = request.arrival_time
-                backend.advance_all(now, max_iterations_per_replica)
-                for replica in self.replicas:
-                    replica.update_lifecycle(now)
-                if self.autoscaler is not None:
-                    self.autoscaler.observe_arrival(now)
-                index = self.router.select(self.replicas, request)
-                if not 0 <= index < len(self.replicas):
-                    raise ValueError(f"router {self.router.name!r} chose invalid "
-                                     f"replica index {index}")
-                if not self.replicas[index].is_routable:
-                    raise ValueError(f"router {self.router.name!r} chose replica "
-                                     f"{index}, which is "
-                                     f"{self.replicas[index].lifecycle.value} and "
-                                     f"may not accept routes")
-                backend.submit(index, request)
-                self.assignments[request.request_id] = index
+            if self.config.engine == "lockstep":
+                self._run_lockstep(backend, requests, max_iterations_per_replica)
+            else:
+                self._run_event_driven(backend, requests, max_iterations_per_replica)
 
             # All requests are placed: drain every replica (including
             # replicas the autoscaler put into DRAINING — their requests
@@ -380,6 +440,9 @@ class ClusterSimulator:
         finally:
             backend.close()
 
+        if self.config.cache_dir is not None:
+            self._save_persistent_caches()
+
         return ClusterResult(
             routing=self.router.name,
             replica_results=replica_results,
@@ -392,3 +455,83 @@ class ClusterSimulator:
             ttft_slo_target=self.config.ttft_slo,
             e2e_slo_target=self.config.e2e_slo,
         )
+
+    # -- cluster engines -------------------------------------------------------
+
+    def _handle_arrival(self, backend: ExecutionBackend, request: Request) -> None:
+        """Route one arrival (shared by both engines).
+
+        The caller has already caught the relevant replicas up to the
+        arrival time; this refreshes lifecycles (warm-ups that elapsed,
+        drains that completed), lets the autoscaler react, then routes.
+        """
+        now = request.arrival_time
+        for replica in self.replicas:
+            replica.update_lifecycle(now)
+        if self.autoscaler is not None:
+            self.autoscaler.observe_arrival(now)
+        index = self.router.select(self.replicas, request)
+        if not 0 <= index < len(self.replicas):
+            raise ValueError(f"router {self.router.name!r} chose invalid "
+                             f"replica index {index}")
+        if not self.replicas[index].is_routable:
+            raise ValueError(f"router {self.router.name!r} chose replica "
+                             f"{index}, which is "
+                             f"{self.replicas[index].lifecycle.value} and "
+                             f"may not accept routes")
+        backend.submit(index, request)
+        self.assignments[request.request_id] = index
+
+    def _run_lockstep(self, backend: ExecutionBackend, requests: Sequence[Request],
+                      max_iterations_per_replica: Optional[int]) -> None:
+        """Legacy reference loop: advance *every* replica at every arrival."""
+        for request in requests:
+            backend.advance_all(request.arrival_time, max_iterations_per_replica)
+            self._handle_arrival(backend, request)
+
+    def _run_event_driven(self, backend: ExecutionBackend,
+                          requests: Sequence[Request],
+                          max_iterations_per_replica: Optional[int]) -> None:
+        """Event-driven engine: a heap of timeline events, selective advances.
+
+        Arrival events advance only the *stale* replicas — those whose
+        ``advance_until`` would actually step (see
+        :meth:`Replica.needs_advance`); idle, drained and stopped replicas
+        are skipped entirely, which under the ``process-pool`` backend also
+        skips their pipe round-trips.  Warm-up completions scheduled by the
+        autoscaler are heap events too: they transition WARMING replicas to
+        ACTIVE at their ``warm_at`` instant.  Skipped advances are provably
+        no-ops and lifecycle state is only *observed* at arrival
+        boundaries, so this engine is bit-identical to the lockstep loop.
+        """
+        events: List[Tuple[float, int, str, Optional[Request]]] = []
+        sequence = 0
+        for request in requests:
+            events.append((request.arrival_time, sequence, "arrival", request))
+            sequence += 1
+        heapq.heapify(events)
+        scheduled_warmups = set()
+
+        while events:
+            now, _, kind, request = heapq.heappop(events)
+            if kind == "warmup":
+                for replica in self.replicas:
+                    if replica.lifecycle is ReplicaLifecycle.WARMING:
+                        replica.update_lifecycle(now)
+                continue
+            stale = [index for index, replica in enumerate(self.replicas)
+                     if replica.needs_advance(now, max_iterations_per_replica)]
+            if stale:
+                backend.advance(stale, now, max_iterations_per_replica)
+            self._handle_arrival(backend, request)
+            # Autoscaler decisions may have started warm-ups: schedule their
+            # completion instants so the timeline stays event-driven.
+            for replica in self.replicas:
+                if (replica.lifecycle is ReplicaLifecycle.WARMING
+                        and replica.warm_at > now):
+                    key = (replica.replica_id, replica.warm_at)
+                    if key not in scheduled_warmups:
+                        scheduled_warmups.add(key)
+                        heapq.heappush(events,
+                                       (replica.warm_at, sequence, "warmup", None))
+                        sequence += 1

@@ -4,8 +4,11 @@ from .base import ExecutionEngine, OperatorEstimate
 from .cache import CacheStats, SimulationCache
 from .compiler import CompileReport, CompilerModel
 from .gpu import GPUConfig, GPUEngine, RTX3090_GPU
-from .iteration_cache import (IterationCacheEntry, IterationCacheStats,
-                              IterationReuseCache, iteration_signature)
+from .iteration_cache import (IterationCacheEntry, IterationCacheService,
+                              IterationCacheStats, IterationReuseCache,
+                              RemoteIterationCache, SharedIterationCache,
+                              iteration_cache_file, iteration_signature,
+                              load_iteration_cache, save_iteration_cache)
 from .mapping import (HeterogeneousMapper, HomogeneousMapper, MappingDecision,
                       OperatorMapper, build_mapper)
 from .npu import NPUConfig, NPUEngine, TABLE1_NPU
@@ -20,7 +23,9 @@ __all__ = [
     "CompileReport", "CompilerModel",
     "GPUConfig", "GPUEngine", "RTX3090_GPU",
     "IterationCacheEntry", "IterationCacheStats", "IterationReuseCache",
-    "iteration_signature",
+    "SharedIterationCache", "RemoteIterationCache", "IterationCacheService",
+    "iteration_signature", "iteration_cache_file", "save_iteration_cache",
+    "load_iteration_cache",
     "HeterogeneousMapper", "HomogeneousMapper", "MappingDecision", "OperatorMapper", "build_mapper",
     "NPUConfig", "NPUEngine", "TABLE1_NPU",
     "GreedyOperatorScheduler", "OperatorSchedule", "ScheduledOperator",

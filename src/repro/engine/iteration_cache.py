@@ -23,19 +23,45 @@ One cache serves one hardware/software configuration: latencies depend on
 the full :class:`~repro.core.config.ServingSimConfig`, so a cache may only
 be shared between simulators built from the same configuration (the cluster
 layer shares one cache per :class:`~repro.core.config.ReplicaSpec` class).
+
+Three sharing tiers build on the plain :class:`IterationReuseCache`:
+
+* :class:`SharedIterationCache` — a thread-safe cache with **singleflight**
+  deduplication: concurrent misses on one signature elect a single leader
+  to simulate it while late arrivals block until the leader stores the
+  entry, so a signature is never computed twice no matter how many
+  same-class replicas race on it.
+* :class:`IterationCacheService` / :class:`RemoteIterationCache` — serve a
+  master-hosted :class:`SharedIterationCache` to worker *processes* over
+  pipes, restoring the serial backend's cross-replica hit rate under the
+  ``process-pool`` execution backend (worker-private caches would re-miss
+  every signature once per worker).
+* :func:`save_iteration_cache` / :func:`load_iteration_cache` — optional
+  on-disk persistence (``ClusterConfig.cache_dir``) keyed by the owning
+  serving configuration, so parameter sweeps revisiting a configuration
+  warm-start instead of re-simulating known signatures.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import threading
+import traceback
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _wait_for_connections
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..models.graph import BatchComposition
 from ..scheduler.kv_cache import KVMemoryEvent
 from .stack import EngineStackReport
 
 __all__ = ["IterationCacheStats", "IterationCacheEntry", "IterationReuseCache",
-           "iteration_signature"]
+           "SharedIterationCache", "RemoteIterationCache", "IterationCacheService",
+           "iteration_signature", "iteration_cache_file", "save_iteration_cache",
+           "load_iteration_cache"]
 
 
 def iteration_signature(batch: BatchComposition,
@@ -132,6 +158,12 @@ class IterationReuseCache:
             self.stats.hits += 1
         return entry
 
+    def peek(self, signature: Tuple) -> Optional[IterationCacheEntry]:
+        """Return the memoized entry or ``None`` without touching the counters."""
+        if not self.enabled:
+            return None
+        return self._entries.get(signature)
+
     def store(self, signature: Tuple, entry: IterationCacheEntry) -> None:
         """Insert an entry, evicting the oldest signature if the cache is full."""
         if not self.enabled:
@@ -145,3 +177,318 @@ class IterationReuseCache:
         """Drop all entries and reset statistics."""
         self._entries.clear()
         self.stats = IterationCacheStats()
+
+
+class SharedIterationCache(IterationReuseCache):
+    """Thread-safe iteration cache with singleflight miss deduplication.
+
+    The plain :class:`IterationReuseCache` lets every concurrent miss on the
+    same signature run the full simulation pipeline; on a shared cache that
+    is pure waste — the entries are exact, so one computation serves
+    everyone.  This subclass adds the **singleflight** discipline: the first
+    misser of a signature becomes its *leader* and simulates it, every later
+    misser blocks in :meth:`acquire` until the leader :meth:`store`\\ s the
+    entry (or :meth:`abandon`\\ s it, in which case a waiter is promoted to
+    leader and retries).
+
+    ``lookup``/``store``/``peek``/``clear`` stay non-blocking and merely
+    become thread-safe, so the cache still drops into
+    :class:`~repro.core.simulator.LLMServingSim` unchanged; the blocking
+    :meth:`acquire` entry point is what concurrent consumers — the
+    in-process users of one shared cache, and the
+    :class:`IterationCacheService` on behalf of worker processes — use
+    instead of ``lookup``.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+        super().__init__(enabled=enabled, max_entries=max_entries)
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple, threading.Event] = {}
+
+    def lookup(self, signature: Tuple) -> Optional[IterationCacheEntry]:
+        with self._lock:
+            return super().lookup(signature)
+
+    def peek(self, signature: Tuple) -> Optional[IterationCacheEntry]:
+        with self._lock:
+            return super().peek(signature)
+
+    def store(self, signature: Tuple, entry: IterationCacheEntry) -> None:
+        """Insert an entry and release every waiter blocked on its signature."""
+        with self._lock:
+            super().store(signature, entry)
+            event = self._inflight.pop(signature, None)
+        if event is not None:
+            event.set()
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+            inflight, self._inflight = self._inflight, {}
+        for event in inflight.values():
+            event.set()
+
+    # -- singleflight ----------------------------------------------------------
+
+    def acquire(self, signature: Tuple) -> Tuple[Optional[IterationCacheEntry], bool]:
+        """Hit, lead, or wait: the singleflight entry point.
+
+        Returns ``(entry, False)`` on a hit.  On a miss with nobody
+        computing the signature, returns ``(None, True)`` — the caller is
+        the leader and must :meth:`store` (or :meth:`abandon`) it.  On a
+        miss while a leader is in flight, blocks until the leader finishes,
+        then returns the stored entry as a hit — or retries for leadership
+        if the leader abandoned.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(signature) if self.enabled else None
+                if entry is not None:
+                    self.stats.hits += 1
+                    return entry, False
+                if not self.enabled:
+                    self.stats.misses += 1
+                    return None, True
+                event = self._inflight.get(signature)
+                if event is None:
+                    self._inflight[signature] = threading.Event()
+                    self.stats.misses += 1
+                    return None, True
+            event.wait()
+
+    def abandon(self, signature: Tuple) -> None:
+        """Give up leadership of a signature (the simulation failed).
+
+        Waiters wake, find no entry, and re-run the election — exactly one
+        of them becomes the new leader.
+        """
+        with self._lock:
+            event = self._inflight.pop(signature, None)
+        if event is not None:
+            event.set()
+
+
+class RemoteIterationCache:
+    """Worker-process proxy of a master-hosted :class:`SharedIterationCache`.
+
+    Duck-types the ``enabled``/``lookup``/``store``/``stats`` surface that
+    :class:`~repro.core.simulator.LLMServingSim` consumes, forwarding every
+    operation over a pipe to the master's :class:`IterationCacheService`.
+    ``lookup`` blocks while another worker leads the same signature (the
+    singleflight wait happens server-side: the reply is simply deferred
+    until the leader stores), so a worker never re-simulates a signature a
+    sibling is already computing.  ``store`` is fire-and-forget — the
+    in-order pipe guarantees the service applies it before the worker's
+    next lookup.
+    """
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self.enabled = True
+        self.stats = IterationCacheStats()
+
+    def lookup(self, signature: Tuple) -> Optional[IterationCacheEntry]:
+        self._connection.send(("get", signature))
+        status, entry = self._connection.recv()
+        if status == "hit":
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def store(self, signature: Tuple, entry: IterationCacheEntry) -> None:
+        self._connection.send(("put", signature, entry))
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class IterationCacheService:
+    """Serve shared iteration caches to worker processes over pipes.
+
+    The master process hosts one :class:`SharedIterationCache` per replica
+    class; this service runs a daemon thread multiplexing the workers'
+    cache pipes onto those caches:
+
+    * ``("get", signature)`` replies ``("hit", entry)`` when the signature
+      is cached, ``("lead", None)`` when the asking worker should simulate
+      it, and *defers the reply* when another worker already leads it — the
+      asker blocks in its ``recv`` until the leader's ``put`` fans the
+      entry out to every waiter (singleflight across processes);
+    * ``("put", signature, entry)`` stores the entry and releases the
+      waiters; no reply is sent.
+
+    A worker can lead at most one signature at a time (its ``store`` always
+    precedes its next ``lookup``), so the wait graph is a star around the
+    service and cannot deadlock.  If a leader's process dies, its pipe
+    drops and the first waiter is promoted to leader, so a crash never
+    strands the queue.
+    """
+
+    def __init__(self, caches: Dict[str, IterationReuseCache]) -> None:
+        import multiprocessing
+
+        self._multiprocessing = multiprocessing
+        self._caches = dict(caches)
+        self._connections: List = []
+        self._class_of: Dict[int, str] = {}
+        #: (class_name, signature) -> list of connections awaiting the entry.
+        self._waiters: Dict[Tuple[str, Tuple], List] = {}
+        #: connection id -> keys it currently leads (for crash promotion).
+        self._leading: Dict[int, set] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def register(self, class_name: str):
+        """Create the cache pipe of one worker; returns the worker-side end."""
+        if class_name not in self._caches:
+            raise ValueError(f"no shared cache for replica class {class_name!r}")
+        if self._thread is not None:
+            raise RuntimeError("register() must precede start()")
+        parent, child = self._multiprocessing.Pipe()
+        self._connections.append(parent)
+        self._class_of[id(parent)] = class_name
+        return child
+
+    def start(self) -> None:
+        if self._thread is not None or not self._connections:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name="iteration-cache-service")
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and drop the pipes; must be idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for connection in self._connections:
+            connection.close()
+        self._connections = []
+        self._waiters.clear()
+        self._leading.clear()
+
+    # -- the serving loop ------------------------------------------------------
+
+    def _serve(self) -> None:
+        live = list(self._connections)
+        while live and not self._stop.is_set():
+            try:
+                ready = _wait_for_connections(live, timeout=0.05)
+            except OSError:  # pragma: no cover - close() raced the wait
+                return
+            for connection in ready:
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError):
+                    live.remove(connection)
+                    self._handle_disconnect(connection)
+                    continue
+                try:
+                    self._handle(connection, message)
+                except Exception:  # pragma: no cover - defensive: keep serving
+                    traceback.print_exc()
+
+    def _handle(self, connection, message) -> None:
+        kind, signature = message[0], message[1]
+        class_name = self._class_of[id(connection)]
+        cache = self._caches[class_name]
+        key = (class_name, signature)
+        if kind == "get":
+            entry = cache.peek(signature)
+            if entry is not None:
+                cache.stats.hits += 1
+                connection.send(("hit", entry))
+            elif not cache.enabled:
+                cache.stats.misses += 1
+                connection.send(("lead", None))
+            elif key in self._waiters:
+                self._waiters[key].append(connection)  # reply deferred to the put
+            else:
+                self._waiters[key] = []
+                self._leading.setdefault(id(connection), set()).add(key)
+                cache.stats.misses += 1
+                connection.send(("lead", None))
+        elif kind == "put":
+            entry = message[2]
+            cache.store(signature, entry)
+            self._leading.get(id(connection), set()).discard(key)
+            for waiter in self._waiters.pop(key, []):
+                cache.stats.hits += 1
+                waiter.send(("hit", entry))
+        else:
+            raise ValueError(f"unknown cache-service command {kind!r}")
+
+    def _handle_disconnect(self, connection) -> None:
+        """Promote a waiter for every signature the dead worker led."""
+        for key in self._leading.pop(id(connection), set()):
+            waiters = self._waiters.get(key)
+            if waiters:
+                promoted = waiters.pop(0)
+                self._leading.setdefault(id(promoted), set()).add(key)
+                promoted.send(("lead", None))
+            else:
+                self._waiters.pop(key, None)
+        for waiters in self._waiters.values():
+            while connection in waiters:
+                waiters.remove(connection)
+
+
+# -- on-disk persistence ---------------------------------------------------------
+
+_CACHE_SCHEMA = "iteration-cache/v1"
+
+
+def iteration_cache_file(cache_dir: Union[str, Path], config) -> Path:
+    """Cache file for one serving configuration inside ``cache_dir``.
+
+    Entries are only valid for the exact configuration that produced them,
+    so the file name carries a digest of the configuration's repr — two
+    replica classes (or two sweep points) never collide.
+    """
+    digest = hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+    return Path(cache_dir) / f"iteration-cache-{digest}.pkl"
+
+
+def save_iteration_cache(cache: IterationReuseCache, path: Union[str, Path],
+                         config) -> Path:
+    """Persist a cache's entries atomically (write-then-rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": _CACHE_SCHEMA, "config": repr(config),
+               "entries": dict(cache._entries)}
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_iteration_cache(cache: IterationReuseCache, path: Union[str, Path],
+                         config) -> int:
+    """Warm-start a cache from disk; returns the number of entries loaded.
+
+    A missing, corrupt, or configuration-mismatched file loads nothing — a
+    stale cache directory must never poison a run, so every failure mode
+    degrades to a cold start.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return 0
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (payload.get("schema") != _CACHE_SCHEMA
+                or payload.get("config") != repr(config)):
+            return 0
+        entries = payload["entries"]
+    except Exception:
+        return 0
+    loaded = 0
+    for signature, entry in entries.items():
+        if cache.peek(signature) is None:
+            cache.store(signature, entry)
+            loaded += 1
+    return loaded

@@ -1,20 +1,26 @@
-"""Determinism suite: serial and process-pool backends must be bit-identical.
+"""Determinism suite: backends and cluster engines must be bit-identical.
 
 The cluster loop's parallel fan-out is only admissible because the replica
-simulations are deterministic and independent between arrivals; these tests
-pin that contract across every routing policy, under autoscaling, and with
+simulations are deterministic and independent between arrivals, and the
+event-driven engine's skipped advances are only admissible because they are
+provably no-ops; these tests pin both contracts across every routing
+policy, under autoscaling, on trace-replay workloads, and with
 iteration-level memoization on and off.  "Bit-identical" covers everything
 the cluster *simulated* — routing assignments, per-replica iteration
 records, request latency milestones, SLO metrics, the scaling timeline.
-Simulator-side accounting (wall clock, cache hit counters) is backend
-dependent by design: the serial backend shares one iteration-reuse cache
-per replica class while worker processes keep private ones.
+Simulator-side wall clock is backend dependent; per-replica cache counters
+can shift between backends (singleflight leadership is timing-dependent),
+but cluster-wide hit/miss *totals* match the serial backend exactly, which
+the shared-cache tests pin.
 """
+
+import dataclasses
 
 import pytest
 
 from repro import (AutoscaleConfig, ClusterConfig, ClusterSimulator, ReplicaSpec,
-                   ServingSimConfig, generate_trace)
+                   ServingSimConfig, TraceReplayConfig, generate_trace)
+from repro.bench import SAMPLE_TRACE
 from repro.cluster import (ProcessPoolBackend, SerialBackend, available_backends,
                            available_routers, build_backend, register_backend)
 from repro.workload import Request
@@ -199,3 +205,118 @@ class TestMemoizationDeterminism:
                                              replica=replica_config()))
         assert sim.iteration_caches == {}
         assert all(r.simulator.iteration_cache is None for r in sim.replicas)
+
+    def test_shared_cache_hit_totals_match_serial(self):
+        """Singleflight restores serial's cross-replica hit rate under process-pool.
+
+        Exactly one miss per unique iteration signature cluster-wide — the
+        leader's — whichever backend runs it, so the *totals* agree exactly
+        (which replica counted each hit can differ; that is timing).
+        """
+        totals = {}
+        for backend in ("serial", "process-pool"):
+            config = ClusterConfig(num_replicas=2, routing="round-robin",
+                                   replica=replica_config(enable_iteration_reuse=True),
+                                   execution_backend=backend)
+            result = ClusterSimulator(config).run(
+                [Request(i, 24, 28, arrival_time=2.0 * i) for i in range(8)])
+            totals[backend] = (
+                sum(r.iteration_cache_hits for r in result.replica_results),
+                sum(r.iteration_cache_misses for r in result.replica_results))
+        assert totals["process-pool"] == totals["serial"]
+        hits, misses = totals["serial"]
+        assert hits / (hits + misses) >= 0.8  # steady decode: reuse best case
+
+
+class TestEngineDeterminism:
+    """Event-driven == lockstep, under both backends, on every scenario shape."""
+
+    ARMS = (("lockstep", "serial"), ("event-driven", "serial"),
+            ("event-driven", "process-pool"))
+
+    def run_arms(self, make_config, make_workload):
+        results = []
+        for engine, backend in self.ARMS:
+            config = dataclasses.replace(make_config(), engine=engine,
+                                         execution_backend=backend)
+            results.append(ClusterSimulator(config).run(make_workload()))
+        for other in results[1:]:
+            assert_cluster_results_equal(results[0], other)
+        return results[0]
+
+    @pytest.mark.parametrize("routing", sorted(available_routers()))
+    def test_engines_match_across_routing_policies(self, routing):
+        base = self.run_arms(
+            lambda: ClusterConfig(num_replicas=2, routing=routing,
+                                  replica=replica_config()),
+            bursty_trace)
+        assert len(base.finished_requests) == 12
+
+    def test_engines_match_on_autoscaled_run(self):
+        def diurnal_trace():
+            return generate_trace("alpaca", 24, arrival="diurnal",
+                                  rate_per_second=4.0, amplitude=0.8,
+                                  period_seconds=20.0, seed=42)
+
+        base = self.run_arms(
+            lambda: ClusterConfig(
+                num_replicas=3, routing="slo-ttft", replica=replica_config(),
+                autoscale=AutoscaleConfig(min_replicas=1, max_replicas=3,
+                                          window_seconds=3.0,
+                                          target_rate_per_replica=1.5,
+                                          warmup_seconds=0.5,
+                                          cooldown_seconds=1.0)),
+            diurnal_trace)
+        assert base.scaling_timeline, "scenario must actually scale"
+
+    def test_engines_match_on_trace_replay_run(self):
+        base = self.run_arms(
+            lambda: ClusterConfig(
+                num_replicas=2, routing="least-outstanding",
+                replica=replica_config(),
+                trace_replay=TraceReplayConfig(path=str(SAMPLE_TRACE),
+                                               format="azure", rate_scale=2.0,
+                                               window=(0.0, 30.0))),
+            lambda: None)
+        assert base.finished_requests
+
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_engines_match_with_and_without_cache(self, reuse):
+        self.run_arms(
+            lambda: ClusterConfig(num_replicas=2, routing="round-robin",
+                                  replica=replica_config(
+                                      enable_iteration_reuse=reuse)),
+            lambda: bursty_trace(num_requests=10, seed=5))
+
+    def test_event_driven_respects_iteration_cap(self):
+        config = ClusterConfig(num_replicas=2, routing="round-robin",
+                               replica=replica_config(), engine="event-driven",
+                               execution_backend="process-pool")
+        result = ClusterSimulator(config).run(bursty_trace(8, seed=1),
+                                              max_iterations_per_replica=2)
+        assert all(len(res.iterations) <= 2 for res in result.replica_results)
+
+
+class TestLazyMasterReplicas:
+    """Under process-pool the master must never build its own simulators."""
+
+    def test_master_simulators_not_built_under_process_pool(self):
+        config = ClusterConfig(num_replicas=2, routing="least-outstanding",
+                               replica=replica_config(enable_iteration_reuse=True),
+                               execution_backend="process-pool")
+        sim = ClusterSimulator(config)
+        assert all(r._simulator is None for r in sim.replicas)
+        result = sim.run(bursty_trace(6, seed=2))
+        assert len(result.finished_requests) == 6
+        assert all(r._simulator is None for r in sim.replicas), \
+            "process-pool run built redundant master-side simulators"
+
+    def test_capability_signals_without_simulator(self):
+        replica = ClusterSimulator(ClusterConfig(
+            num_replicas=1, replica=replica_config())).replicas[0]
+        assert replica.device_throughput_tflops > 0
+        assert replica.kv_budget_bytes > 0
+        assert replica.engine_kind == "npu"
+        assert replica.model.name == "gpt2"
+        assert replica._simulator is None, \
+            "capability signals must derive from the config alone"

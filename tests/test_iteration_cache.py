@@ -1,12 +1,18 @@
 """Unit tests for iteration-level memoization (the reuse hierarchy's top level)."""
 
 import dataclasses
+import multiprocessing
+import pickle
+import threading
 
 import pytest
 
 from repro import LLMServingSim, ServingSimConfig
-from repro.engine import (EngineStackReport, IterationCacheEntry, IterationReuseCache,
-                          iteration_signature)
+from repro.engine import (EngineStackReport, IterationCacheEntry,
+                          IterationCacheService, IterationReuseCache,
+                          RemoteIterationCache, SharedIterationCache,
+                          iteration_cache_file, iteration_signature,
+                          load_iteration_cache, save_iteration_cache)
 from repro.models import BatchComposition, Phase, SequenceSpec
 from repro.scheduler.kv_cache import KVMemoryEvent, KVMemoryEventType
 from repro.workload import Request
@@ -91,6 +97,203 @@ class TestIterationReuseCache:
     def test_invalid_max_entries(self):
         with pytest.raises(ValueError):
             IterationReuseCache(max_entries=0)
+
+
+def _entry(latency=1.0):
+    return IterationCacheEntry(latency=latency, engine_report=EngineStackReport())
+
+
+class TestSharedIterationCache:
+    def test_plain_cache_surface_is_thread_safe_superset(self):
+        cache = SharedIterationCache(max_entries=2)
+        cache.store(("a",), _entry(1.0))
+        assert cache.lookup(("a",)).latency == 1.0
+        assert cache.peek(("a",)) is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+        cache.store(("b",), _entry())
+        cache.store(("c",), _entry())
+        assert len(cache) == 2 and cache.peek(("a",)) is None  # evicted
+
+    def test_acquire_hit_lead_and_store_release(self):
+        cache = SharedIterationCache()
+        entry, lead = cache.acquire(("sig",))
+        assert entry is None and lead, "first misser must become the leader"
+        cache.store(("sig",), _entry(2.0))
+        entry, lead = cache.acquire(("sig",))
+        assert not lead and entry.latency == 2.0
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_followers_block_until_leader_stores(self):
+        cache = SharedIterationCache()
+        _, lead = cache.acquire(("sig",))
+        assert lead
+        follower_results = []
+
+        def follow():
+            follower_results.append(cache.acquire(("sig",)))
+
+        threads = [threading.Thread(target=follow) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        assert not follower_results, "followers must wait on the leader"
+        cache.store(("sig",), _entry(3.0))
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(follower_results) == 3
+        assert all(not lead and entry.latency == 3.0
+                   for entry, lead in follower_results)
+        # Singleflight accounting: one miss (the leader), everyone else hits.
+        assert cache.stats.misses == 1 and cache.stats.hits == 3
+
+    def test_abandon_promotes_a_waiter(self):
+        cache = SharedIterationCache()
+        _, lead = cache.acquire(("sig",))
+        assert lead
+        outcomes = []
+
+        def follow():
+            outcomes.append(cache.acquire(("sig",)))
+
+        thread = threading.Thread(target=follow)
+        thread.start()
+        cache.abandon(("sig",))
+        thread.join(timeout=5.0)
+        assert len(outcomes) == 1
+        entry, promoted = outcomes[0]
+        assert entry is None and promoted, "a waiter must inherit leadership"
+
+    def test_disabled_shared_cache_always_leads(self):
+        cache = SharedIterationCache(enabled=False)
+        entry, lead = cache.acquire(("sig",))
+        assert entry is None and lead
+        cache.store(("sig",), _entry())
+        entry, lead = cache.acquire(("sig",))
+        assert entry is None and lead, "disabled cache must never block"
+
+
+class TestIterationCacheService:
+    """The master-side pipe server workers reach shared caches through."""
+
+    def run_service(self, num_clients=2, enabled=True):
+        cache = SharedIterationCache(enabled=enabled)
+        service = IterationCacheService({"default": cache})
+        remotes = [RemoteIterationCache(service.register("default"))
+                   for _ in range(num_clients)]
+        service.start()
+        return cache, service, remotes
+
+    def test_miss_then_hit_through_the_pipe(self):
+        cache, service, (remote, other) = self.run_service()
+        try:
+            assert remote.lookup(("sig",)) is None          # leads
+            remote.store(("sig",), _entry(4.0))
+            assert other.lookup(("sig",)).latency == 4.0    # served from master
+            assert remote.stats.misses == 1 and other.stats.hits == 1
+            assert cache.peek(("sig",)).latency == 4.0
+            assert cache.stats.misses == 1 and cache.stats.hits == 1
+        finally:
+            service.close()
+
+    def test_follower_blocks_until_leader_stores(self):
+        cache, service, (leader, follower) = self.run_service()
+        try:
+            assert leader.lookup(("sig",)) is None
+            results = []
+            thread = threading.Thread(
+                target=lambda: results.append(follower.lookup(("sig",))))
+            thread.start()
+            thread.join(timeout=0.3)
+            assert thread.is_alive(), "follower must block on the in-flight leader"
+            leader.store(("sig",), _entry(5.0))
+            thread.join(timeout=5.0)
+            assert results and results[0].latency == 5.0
+            assert cache.stats.misses == 1 and cache.stats.hits == 1
+        finally:
+            service.close()
+
+    def test_dead_leader_promotes_a_waiter(self):
+        cache, service, (leader, follower) = self.run_service()
+        try:
+            assert leader.lookup(("sig",)) is None
+            results = []
+            thread = threading.Thread(
+                target=lambda: results.append(follower.lookup(("sig",))))
+            thread.start()
+            leader.close()  # leader's process "dies" before storing
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert results == [None], "the waiter must inherit leadership"
+        finally:
+            service.close()
+
+    def test_register_after_start_rejected(self):
+        cache, service, _ = self.run_service(num_clients=1)
+        try:
+            with pytest.raises(RuntimeError):
+                service.register("default")
+            with pytest.raises(ValueError):
+                IterationCacheService({"default": cache}).register("other")
+        finally:
+            service.close()
+
+
+class TestIterationCachePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        config = small_config(enable_iteration_reuse=True)
+        cache = IterationReuseCache()
+        cache.store(("a",), _entry(1.5))
+        cache.store(("b",), _entry(2.5))
+        path = iteration_cache_file(tmp_path, config)
+        assert path.parent == tmp_path and path.suffix == ".pkl"
+        save_iteration_cache(cache, path, config)
+        fresh = IterationReuseCache()
+        assert load_iteration_cache(fresh, path, config) == 2
+        assert fresh.peek(("a",)).latency == 1.5
+        assert fresh.peek(("b",)).latency == 2.5
+        assert fresh.stats.lookups == 0, "warm-start must not touch counters"
+
+    def test_distinct_configs_get_distinct_files(self, tmp_path):
+        small = small_config()
+        large = small_config(npu_num=4)
+        assert (iteration_cache_file(tmp_path, small)
+                != iteration_cache_file(tmp_path, large))
+
+    def test_config_mismatch_loads_nothing(self, tmp_path):
+        config = small_config()
+        cache = IterationReuseCache()
+        cache.store(("a",), _entry())
+        path = save_iteration_cache(cache, tmp_path / "cache.pkl", config)
+        fresh = IterationReuseCache()
+        assert load_iteration_cache(fresh, path, small_config(npu_num=4)) == 0
+        assert len(fresh) == 0
+
+    def test_corrupt_or_missing_file_degrades_to_cold_start(self, tmp_path):
+        fresh = IterationReuseCache()
+        assert load_iteration_cache(fresh, tmp_path / "absent.pkl",
+                                    small_config()) == 0
+        corrupt = tmp_path / "corrupt.pkl"
+        corrupt.write_bytes(b"not a pickle")
+        assert load_iteration_cache(fresh, corrupt, small_config()) == 0
+        wrong_schema = tmp_path / "schema.pkl"
+        wrong_schema.write_bytes(pickle.dumps({"schema": "other/v9"}))
+        assert load_iteration_cache(fresh, wrong_schema, small_config()) == 0
+
+    def test_cluster_cache_dir_warm_starts_sweeps(self, tmp_path):
+        from repro import ClusterConfig, ClusterSimulator
+        from repro.workload import Request
+
+        config = ClusterConfig(
+            num_replicas=2, routing="round-robin",
+            replica=small_config(enable_iteration_reuse=True),
+            cache_dir=str(tmp_path))
+        workload = lambda: [Request(i, 24, 16, arrival_time=2.0 * i)
+                            for i in range(4)]
+        cold = ClusterSimulator(config).run(workload())
+        warm = ClusterSimulator(config).run(workload())
+        assert sum(r.iteration_cache_misses for r in cold.replica_results) > 0
+        assert sum(r.iteration_cache_misses for r in warm.replica_results) == 0
+        for a, b in zip(cold.replica_results, warm.replica_results):
+            assert a.iterations == b.iterations, "warm-start changed results"
 
 
 class TestSimulatorMemoization:
