@@ -12,7 +12,6 @@ iterations actually scale with ``npu_num``, so the roofline capability
 signal reflects real service-rate differences.
 """
 
-import pytest
 from conftest import run_once
 
 from repro import ClusterConfig, ClusterSimulator, ReplicaSpec, ServingSimConfig, generate_trace

@@ -1,0 +1,100 @@
+"""Runtime invariant checker overhead guard.
+
+``--check-invariants`` re-derives the KV byte ledger and audits the event
+clock after every iteration, so it costs something — but it must stay cheap
+enough to leave on in CI smoke runs.  This benchmark runs the same bursty
+cluster scenario with the checker on and off and fails if the median
+slowdown exceeds 5%.
+
+Wall-clock is measured here (not simulated time): the checker changes how
+long the simulator takes to run, never what it computes — which the
+benchmark also asserts, by comparing the two arms' aggregate metrics.
+"""
+
+import statistics
+import time
+
+from conftest import run_once
+
+from repro import ClusterConfig, ClusterSimulator, ServingSimConfig, generate_trace
+from repro.analysis import print_table
+
+NUM_REQUESTS = 48
+RATE = 96.0
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+
+
+def scenario_config(check_invariants: bool) -> ClusterConfig:
+    return ClusterConfig(
+        num_replicas=2,
+        routing="least-outstanding",
+        replica=ServingSimConfig(model_name="gpt2", npu_num=1, npu_mem_gb=4.0,
+                                 max_batch=4),
+        check_invariants=check_invariants,
+    )
+
+
+def bursty_trace():
+    return generate_trace("alpaca", NUM_REQUESTS, arrival="poisson-burst",
+                          rate_per_second=RATE, seed=23)
+
+
+def run_arm(check_invariants: bool):
+    """One timed run; returns (wall_seconds, result)."""
+    config = scenario_config(check_invariants)
+    trace = bursty_trace()
+    start = time.perf_counter()
+    result = ClusterSimulator(config).run(trace)
+    elapsed = time.perf_counter() - start
+    assert len(result.finished_requests) == NUM_REQUESTS
+    return elapsed, result
+
+
+def measure_overhead():
+    # Warm both arms once (imports, first-call caches) before timing.
+    run_arm(False)
+    run_arm(True)
+
+    # Interleave the arms so drift (CPU frequency, noisy neighbours) hits
+    # both equally, then compare medians.
+    off_times, on_times = [], []
+    off_result = on_result = None
+    for _ in range(ROUNDS):
+        elapsed, off_result = run_arm(False)
+        off_times.append(elapsed)
+        elapsed, on_result = run_arm(True)
+        on_times.append(elapsed)
+
+    off_median = statistics.median(off_times)
+    on_median = statistics.median(on_times)
+    overhead = (on_median - off_median) / off_median
+    return {
+        "off_median": off_median,
+        "on_median": on_median,
+        "overhead": overhead,
+        "off_result": off_result,
+        "on_result": on_result,
+    }
+
+
+def test_invariant_checking_overhead_below_5_percent(benchmark):
+    metrics = run_once(benchmark, measure_overhead)
+
+    print_table(
+        f"Invariant checker overhead ({NUM_REQUESTS} bursty requests, "
+        f"2 replicas, median of {ROUNDS})",
+        ["arm", "median wall s"],
+        [["invariants off", f"{metrics['off_median']:.4f}"],
+         ["invariants on", f"{metrics['on_median']:.4f}"],
+         ["overhead", f"{metrics['overhead']:+.2%}"]])
+
+    # The checker observes; it must never perturb the simulation itself.
+    off, on = metrics["off_result"], metrics["on_result"]
+    assert on.makespan == off.makespan
+    assert on.generation_throughput == off.generation_throughput
+
+    assert metrics["overhead"] < MAX_OVERHEAD, (
+        f"--check-invariants costs {metrics['overhead']:.1%} "
+        f"(limit {MAX_OVERHEAD:.0%}): the audit must stay cheap enough "
+        f"to leave on in CI smoke runs")

@@ -1,0 +1,21 @@
+"""Determinism & concurrency static analysis (``repro lint``).
+
+The rule catalog lives in :mod:`repro.analysis.lint.rules` (codes
+``REP001``–``REP006``), the rule-agnostic machinery in
+:mod:`repro.analysis.lint.engine`, and the CLI subcommand in
+:mod:`repro.analysis.lint.cli`.  See ``docs/correctness.md`` for the
+determinism contract these rules enforce.
+"""
+
+from .engine import (BASELINE_SCHEMA, DEFAULT_BASELINE_NAME, Finding,
+                     LintError, ModuleContext, iter_python_files, lint_file,
+                     lint_paths, load_baseline, parse_module,
+                     split_by_baseline, write_baseline)
+from .rules import RULES, Rule, available_rules, register_rule
+from .cli import build_lint_parser, lint_main
+
+__all__ = ["Finding", "ModuleContext", "LintError", "parse_module",
+           "iter_python_files", "lint_file", "lint_paths", "load_baseline",
+           "write_baseline", "split_by_baseline", "BASELINE_SCHEMA",
+           "DEFAULT_BASELINE_NAME", "Rule", "RULES", "register_rule",
+           "available_rules", "build_lint_parser", "lint_main"]

@@ -1,0 +1,104 @@
+"""The ``repro lint`` subcommand: text/JSON output, selection, baseline.
+
+Exit codes follow the convention CI relies on:
+
+* ``0`` — no findings outside the baseline;
+* ``1`` — at least one *new* finding (or, with ``--no-baseline``, any
+  finding at all);
+* ``2`` — usage or I/O error (unknown rule code, unreadable baseline,
+  missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import (DEFAULT_BASELINE_NAME, LintError, lint_paths,
+                     load_baseline, split_by_baseline, write_baseline)
+from .rules import available_rules
+
+__all__ = ["build_lint_parser", "lint_main"]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llmservingsim lint",
+        description="Determinism & concurrency static analysis for the "
+                    "simulator (rule codes REP001-REP006; run --list-rules "
+                    "for the catalog)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (json emits one object with "
+                             "'findings' and 'baselined' arrays)")
+    parser.add_argument("--select", action="append", default=[],
+                        metavar="CODE",
+                        help="run only these rule codes (repeatable or "
+                             "comma-separated)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="CODE",
+                        help="skip these rule codes (repeatable or "
+                             "comma-separated)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline file of accepted findings "
+                             f"(default: {DEFAULT_BASELINE_NAME} in the "
+                             f"current directory; missing file = empty)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="fail on every finding, ignoring any baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record the current findings as the accepted "
+                             "baseline and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _split_codes(values: List[str]) -> List[str]:
+    return [code.strip() for value in values for code in value.split(",")
+            if code.strip()]
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``lint`` subcommand; returns a process exit code."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in available_rules():
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    try:
+        findings = lint_paths([Path(p) for p in args.paths],
+                              select=_split_codes(args.select) or None,
+                              ignore=_split_codes(args.ignore) or None,
+                              relative_to=Path.cwd())
+        if args.write_baseline:
+            write_baseline(baseline_path, findings)
+            print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+            return 0
+        baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    new, baselined = split_by_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.as_dict() for f in new],
+            "baselined": [f.as_dict() for f in baselined],
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.format())
+        if baselined:
+            print(f"({len(baselined)} baselined finding(s) suppressed)")
+        if new:
+            print(f"{len(new)} new finding(s)")
+    return 1 if new else 0

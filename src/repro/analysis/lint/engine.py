@@ -1,0 +1,270 @@
+"""The ``repro lint`` engine: file walking, rule dispatch, noqa, baseline.
+
+The simulator's headline guarantee — bit-identical results across execution
+backends and cluster engines — is a *determinism* contract, and most ways to
+break it share a handful of syntactic shapes: a wall-clock read in
+simulation logic, an unseeded random draw, iteration over an unordered
+container, object identity leaking into a cache key, an unpicklable payload
+crossing a process boundary, a lock-guarded field touched without its lock.
+This package encodes those shapes as AST-level rules (see
+:mod:`repro.analysis.lint.rules` for the catalog) so a whole bug class is
+caught in milliseconds instead of surfacing as a flaky fingerprint mismatch
+in the four-minute determinism suite.
+
+This module is the rule-agnostic machinery:
+
+* :class:`ModuleContext` — one parsed file (AST, source lines, dotted module
+  name, parent links) handed to every rule;
+* :func:`lint_paths` / :func:`lint_file` — walk files deterministically,
+  run the selected rules, apply ``# repro: noqa[RULE]`` suppressions;
+* :func:`load_baseline` / :func:`write_baseline` /
+  :func:`split_by_baseline` — the committed-findings workflow: CI fails
+  only on findings *not* recorded in the baseline file, so the linter can
+  be adopted on an imperfect tree and ratcheted down.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "ModuleContext", "LintError", "parse_module",
+           "iter_python_files", "lint_file", "lint_paths",
+           "load_baseline", "write_baseline", "split_by_baseline",
+           "BASELINE_SCHEMA", "DEFAULT_BASELINE_NAME"]
+
+#: Inline suppression: ``# repro: noqa`` silences every rule on the line,
+#: ``# repro: noqa[REP001]`` / ``# repro: noqa[REP001,REP003]`` named ones.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+BASELINE_SCHEMA = "repro-lint-baseline/v1"
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class LintError(Exception):
+    """A path could not be linted (missing file, unparseable source)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def key(self) -> Tuple[str, str, int]:
+        """Identity used for baseline matching (column excluded: it is an
+        implementation detail of the rule, not of the finding)."""
+        return (self.path, self.code, self.line)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one parsed Python file."""
+
+    path: Path
+    display_path: str
+    module_name: str
+    source_lines: List[str]
+    tree: ast.Module
+    #: Child node -> parent node; AST nodes hash by identity, which is the
+    #: right key here (the map lives exactly as long as the tree).
+    parents: Dict[ast.AST, ast.AST]
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's parents, innermost first."""
+        current = self.parent_of(node)
+        while current is not None:
+            yield current
+            current = self.parent_of(current)
+
+
+def module_name_of(path: Path) -> str:
+    """Dotted module name of a file, derived from the package layout.
+
+    Walks up while ``__init__.py`` marks the parent as a package, so
+    ``src/repro/core/simtime.py`` resolves to ``repro.core.simtime``
+    regardless of where the repository is checked out.  Files outside any
+    package resolve to their bare stem.
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        current = current.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_module(path: Path, display_path: Optional[str] = None) -> ModuleContext:
+    """Parse one file into the context handed to every rule."""
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from None
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return ModuleContext(path=path, display_path=display_path or str(path),
+                         module_name=module_name_of(path),
+                         source_lines=source.splitlines(), tree=tree,
+                         parents=parents)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` in deterministic order."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {path}")
+
+
+def _suppressed_codes(context: ModuleContext, line: int) -> Optional[Set[str]]:
+    """Codes silenced by a ``# repro: noqa`` comment on a physical line.
+
+    Returns ``None`` when the line carries no directive, the empty set for a
+    bare ``noqa`` (suppress everything), or the named codes.
+    """
+    if not 1 <= line <= len(context.source_lines):
+        return None
+    match = _NOQA_RE.search(context.source_lines[line - 1])
+    if match is None:
+        return None
+    if match.group(1) is None:
+        return set()
+    return {code.strip().upper() for code in match.group(1).split(",") if code.strip()}
+
+
+def _apply_noqa(context: ModuleContext, findings: Iterable[Finding]) -> List[Finding]:
+    kept = []
+    for finding in findings:
+        codes = _suppressed_codes(context, finding.line)
+        if codes is not None and (not codes or finding.code in codes):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _resolve_rules(select: Optional[Sequence[str]],
+                   ignore: Optional[Sequence[str]]) -> "List":
+    from .rules import RULES
+    codes = list(RULES)
+    if select:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - set(codes)
+        if unknown:
+            raise LintError(f"unknown rule code(s) in --select: {sorted(unknown)}")
+        codes = [code for code in codes if code in wanted]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        unknown = dropped - set(RULES)
+        if unknown:
+            raise LintError(f"unknown rule code(s) in --ignore: {sorted(unknown)}")
+        codes = [code for code in codes if code not in dropped]
+    return [RULES[code] for code in codes]
+
+
+def lint_file(path: Path, select: Optional[Sequence[str]] = None,
+              ignore: Optional[Sequence[str]] = None,
+              display_path: Optional[str] = None) -> List[Finding]:
+    """Run the (selected) rules over one file, honoring noqa directives."""
+    context = parse_module(Path(path), display_path=display_path)
+    findings: List[Finding] = []
+    for rule in _resolve_rules(select, ignore):
+        findings.extend(rule.check(context))
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return _apply_noqa(context, findings)
+
+
+def lint_paths(paths: Sequence[Path], select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None,
+               relative_to: Optional[Path] = None) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings in file order.
+
+    ``relative_to`` rewrites finding paths relative to a root (typically the
+    repository root) so baselines are stable across checkouts.
+    """
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        display = str(file_path)
+        if relative_to is not None:
+            try:
+                display = str(file_path.resolve().relative_to(Path(relative_to).resolve()))
+            except ValueError:
+                pass
+        findings.extend(lint_file(file_path, select=select, ignore=ignore,
+                                  display_path=display))
+    return findings
+
+
+# -- baseline workflow -----------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Set[Tuple[str, str, int]]:
+    """Read the committed baseline; a missing file is an empty baseline.
+
+    A malformed or wrong-schema file is an error, not an empty baseline — a
+    silently ignored baseline would re-flag every legacy finding and train
+    people to distrust the gate.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from None
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise LintError(f"baseline {path} has unknown schema "
+                        f"{payload.get('schema')!r}; expected {BASELINE_SCHEMA!r}")
+    return {(entry["path"], entry["code"], entry["line"])
+            for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Path:
+    """Record the given findings as the accepted baseline."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [{"path": f.path, "code": f.code, "line": f.line,
+                      "message": f.message}
+                     for f in sorted(findings, key=lambda f: f.key())],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      baseline: Set[Tuple[str, str, int]],
+                      ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into ``(new, baselined)``."""
+    new, baselined = [], []
+    for finding in findings:
+        (baselined if finding.key() in baseline else new).append(finding)
+    return new, baselined

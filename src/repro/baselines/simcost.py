@@ -17,10 +17,9 @@ of Figures 2(a) and 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..engine.npu import NPUEngine, TABLE1_NPU
-from ..engine.pim import PIMEngine, TABLE1_PIM
 from ..models.architectures import ModelConfig, get_model
 from ..models.graph import BatchComposition, SequenceSpec, build_iteration_graph
 from ..models.layers import Phase

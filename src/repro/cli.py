@@ -41,6 +41,11 @@ process-pool backends, iteration-reuse on/off) and writes the
 ``BENCH_cluster.json`` report CI archives per commit::
 
     llmservingsim bench --quick --output BENCH_cluster.json
+
+The ``lint`` subcommand runs the determinism & concurrency static analysis
+(rule codes REP001-REP006, see docs/correctness.md) over the given paths::
+
+    llmservingsim lint src --format json
 """
 
 from __future__ import annotations
@@ -300,6 +305,11 @@ def build_cluster_parser() -> argparse.ArgumentParser:
                         help="TTFT SLO target in seconds (reports per-class attainment)")
     parser.add_argument("--e2e-slo", type=float, default=None,
                         help="end-to-end latency SLO target in seconds")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="audit every replica after each iteration "
+                             "(event-time monotonicity, KV-token "
+                             "conservation, cache-lookup accounting); a "
+                             "violation aborts the run naming the replica")
     _add_serving_args(parser, arrival_default="poisson-burst")
     return parser
 
@@ -353,7 +363,8 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
                            cache_dir=args.cache_dir,
                            replica=base_config, replicas=specs or None,
                            autoscale=autoscale, trace_replay=trace_replay,
-                           ttft_slo=args.ttft_slo, e2e_slo=args.e2e_slo)
+                           ttft_slo=args.ttft_slo, e2e_slo=args.e2e_slo,
+                           check_invariants=args.check_invariants)
 
     if trace_replay is not None:
         trace = None  # the simulator replays config.trace_replay itself
@@ -484,8 +495,9 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    ``main(["cluster", ...])`` dispatches to the cluster subcommand and
-    ``main(["bench", ...])`` to the performance harness; any other
+    ``main(["cluster", ...])`` dispatches to the cluster subcommand,
+    ``main(["bench", ...])`` to the performance harness, and
+    ``main(["lint", ...])`` to the determinism static analysis; any other
     invocation keeps the artifact's original flat single-system interface.
     """
     if argv is None:
@@ -494,6 +506,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cluster_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.lint import lint_main
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -182,7 +182,7 @@ class SerialBackend(ExecutionBackend):
 
 
 def _replica_worker_main(conn, cache_conn, config, replica_id: int,
-                         class_name: str) -> None:
+                         class_name: str, check_invariants: bool = False) -> None:
     """Command loop of one persistent replica worker process.
 
     Builds a fresh replica from its configuration (state must start clean
@@ -206,7 +206,8 @@ def _replica_worker_main(conn, cache_conn, config, replica_id: int,
     try:
         cache = RemoteIterationCache(cache_conn) if cache_conn is not None else None
         replica = Replica(replica_id, config, class_name=class_name,
-                          iteration_cache=cache)
+                          iteration_cache=cache,
+                          check_invariants=check_invariants)
         conn.send(("ok", snapshot_replica(replica)))
     except Exception:
         conn.send(("error", traceback.format_exc()))
@@ -294,7 +295,8 @@ class ProcessPoolBackend(ExecutionBackend):
             process = self._context.Process(
                 target=_replica_worker_main,
                 args=(child_conn, cache_conn, replica.config,
-                      replica.replica_id, replica.class_name),
+                      replica.replica_id, replica.class_name,
+                      replica.check_invariants),
                 daemon=True,
                 name=f"replica-worker-{replica.replica_id}",
             )

@@ -135,11 +135,14 @@ class Replica:
 
     def __init__(self, replica_id: int, config: ServingSimConfig,
                  class_name: str = "default",
-                 iteration_cache: Optional[IterationReuseCache] = None) -> None:
+                 iteration_cache: Optional[IterationReuseCache] = None,
+                 check_invariants: bool = False) -> None:
         self.replica_id = replica_id
         self.config = config
         self.class_name = class_name
         self.iteration_cache = iteration_cache
+        self.check_invariants = check_invariants
+        self._invariant_checker = None
         self.model = get_model(config.model_name)
         self.lifecycle = ReplicaLifecycle.ACTIVE
         self.warm_at = 0.0
@@ -295,9 +298,17 @@ class Replica:
 
     def step(self) -> bool:
         """Simulate one iteration; returns False when no progress is possible."""
+        if self.check_invariants and self._invariant_checker is None:
+            # Built before the first step so the checker's cache-counter
+            # baseline predates the first lookup.
+            from ..analysis.invariants import ReplicaInvariantChecker
+            self._invariant_checker = ReplicaInvariantChecker(
+                self.replica_id, self.class_name, self.simulator)
         record = self.simulator.step()
         if record is None:
             return False
+        if self._invariant_checker is not None:
+            self._invariant_checker.after_iteration(record)
         self._iterations_run += 1
         self._latency_sum += record.latency
         return True
@@ -362,7 +373,8 @@ class ClusterSimulator:
                 cache = self.iteration_caches.setdefault(class_name,
                                                          SharedIterationCache())
             self.replicas.append(Replica(i, replica_config, class_name=class_name,
-                                         iteration_cache=cache))
+                                         iteration_cache=cache,
+                                         check_invariants=self.config.check_invariants))
         if self.config.cache_dir is not None:
             self._load_persistent_caches()
         self.autoscaler: Optional[Autoscaler] = (

@@ -348,6 +348,15 @@ class ClusterConfig:
         per-class attainment in :class:`~repro.cluster.results.ClusterResult`.
     e2e_slo:
         Optional end-to-end latency SLO target (seconds), reported likewise.
+    check_invariants:
+        Audit every replica's simulator after each iteration with the
+        runtime invariant checker
+        (:class:`~repro.analysis.invariants.ReplicaInvariantChecker`):
+        event-time monotonicity, KV-token conservation and cache-lookup
+        accounting.  A violation raises
+        :class:`~repro.analysis.invariants.InvariantViolation` naming the
+        replica and request.  Overhead is a few comparisons per iteration;
+        CLI flag ``--check-invariants``.
     """
 
     num_replicas: int = 2
@@ -361,6 +370,7 @@ class ClusterConfig:
     trace_replay: Optional[TraceReplayConfig] = None
     ttft_slo: Optional[float] = None
     e2e_slo: Optional[float] = None
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas is not None:

@@ -19,8 +19,8 @@ workflow of Figure 4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace
+from typing import Optional, Sequence
 
 from ..engine.cache import SimulationCache
 from ..engine.compiler import CompilerModel
@@ -30,13 +30,12 @@ from ..engine.mapping import build_mapper
 from ..engine.npu import NPUEngine
 from ..engine.pim import PIMEngine
 from ..engine.stack import ExecutionEngineStack
-from ..engine.trace import TraceEntry
 from ..graph.converter import GraphConverter
 from ..graph.parallelism import make_plan
 from ..models.architectures import ModelConfig, get_model
 from ..models.graph import BatchComposition, build_iteration_graph
 from ..scheduler.batch import IterationPlan
-from ..scheduler.kv_cache import PagedKVCacheManager, build_kv_manager
+from ..scheduler.kv_cache import build_kv_manager
 from ..scheduler.memory import compute_kv_budget
 from ..scheduler.scheduler import build_scheduler
 from ..scheduler.subbatch import SubBatchPartitioner

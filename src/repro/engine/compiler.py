@@ -17,8 +17,8 @@ models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
 
 from ..models.graph import IterationGraph
 from ..models.layers import Operator

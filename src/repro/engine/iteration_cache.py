@@ -200,6 +200,11 @@ class SharedIterationCache(IterationReuseCache):
     instead of ``lookup``.
     """
 
+    #: Lock discipline, enforced statically by `repro lint` rule REP006:
+    #: these attributes may only be touched inside `with self._lock:` (or in
+    #: a method documented as lock-held).
+    _LOCK_GUARDED = ("_entries", "_inflight")
+
     def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
         super().__init__(enabled=enabled, max_entries=max_entries)
         self._lock = threading.Lock()
@@ -331,11 +336,13 @@ class IterationCacheService:
         self._multiprocessing = multiprocessing
         self._caches = dict(caches)
         self._connections: List = []
-        self._class_of: Dict[int, str] = {}
+        #: Connection -> replica class; keyed by the connection object itself
+        #: (never by id(): ids are reused after garbage collection).
+        self._class_of: Dict[object, str] = {}
         #: (class_name, signature) -> list of connections awaiting the entry.
         self._waiters: Dict[Tuple[str, Tuple], List] = {}
-        #: connection id -> keys it currently leads (for crash promotion).
-        self._leading: Dict[int, set] = {}
+        #: connection -> keys it currently leads (for crash promotion).
+        self._leading: Dict[object, set] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -347,7 +354,7 @@ class IterationCacheService:
             raise RuntimeError("register() must precede start()")
         parent, child = self._multiprocessing.Pipe()
         self._connections.append(parent)
-        self._class_of[id(parent)] = class_name
+        self._class_of[parent] = class_name
         return child
 
     def start(self) -> None:
@@ -393,7 +400,7 @@ class IterationCacheService:
 
     def _handle(self, connection, message) -> None:
         kind, signature = message[0], message[1]
-        class_name = self._class_of[id(connection)]
+        class_name = self._class_of[connection]
         cache = self._caches[class_name]
         key = (class_name, signature)
         if kind == "get":
@@ -408,13 +415,13 @@ class IterationCacheService:
                 self._waiters[key].append(connection)  # reply deferred to the put
             else:
                 self._waiters[key] = []
-                self._leading.setdefault(id(connection), set()).add(key)
+                self._leading.setdefault(connection, set()).add(key)
                 cache.stats.misses += 1
                 connection.send(("lead", None))
         elif kind == "put":
             entry = message[2]
             cache.store(signature, entry)
-            self._leading.get(id(connection), set()).discard(key)
+            self._leading.get(connection, set()).discard(key)
             for waiter in self._waiters.pop(key, []):
                 cache.stats.hits += 1
                 waiter.send(("hit", entry))
@@ -423,11 +430,11 @@ class IterationCacheService:
 
     def _handle_disconnect(self, connection) -> None:
         """Promote a waiter for every signature the dead worker led."""
-        for key in self._leading.pop(id(connection), set()):
+        for key in self._leading.pop(connection, set()):
             waiters = self._waiters.get(key)
             if waiters:
                 promoted = waiters.pop(0)
-                self._leading.setdefault(id(promoted), set()).add(key)
+                self._leading.setdefault(promoted, set()).add(key)
                 promoted.send(("lead", None))
             else:
                 self._waiters.pop(key, None)

@@ -16,7 +16,7 @@ The mapper here is the shared policy object used by both paths.  It is a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from ..models.layers import Operator, OpType, Phase
 from ..system.topology import DeviceType, PIMMode

@@ -10,7 +10,7 @@ into a single :class:`Trace` that the graph converter consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from ..models.layers import Operator
 from ..system.topology import DeviceType

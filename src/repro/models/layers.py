@@ -15,7 +15,7 @@ feed-forward network, layer normalization, and the LM head.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 __all__ = [

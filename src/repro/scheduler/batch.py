@@ -10,7 +10,7 @@ the scheduler once the iteration's latency is known.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from ..models.graph import BatchComposition, SequenceSpec
 from ..models.layers import Phase

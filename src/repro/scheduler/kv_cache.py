@@ -19,7 +19,7 @@ Two managers are provided:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..models.architectures import ModelConfig
@@ -289,7 +289,7 @@ class PagedKVCacheManager(KVCacheManager):
         protected_set = set(protected or [request_id])
         evicted: List[int] = []
         while not self.can_grow(request_id, additional_tokens):
-            candidate = self.evict_last_admitted(protected=list(protected_set))
+            candidate = self.evict_last_admitted(protected=sorted(protected_set))
             if candidate is None:
                 break
             evicted.append(candidate)

@@ -18,7 +18,7 @@ Two policies are provided, matching the artifact's ``scheduling`` knob:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..workload.request import Request, RequestState

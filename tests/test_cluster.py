@@ -7,7 +7,7 @@ from repro import (AutoscaleConfig, ClusterConfig, ClusterSimulator, ReplicaSpec
 from repro.analysis import (percentile, request_slo_metrics, slo_attainment, slo_summary,
                             time_between_tokens)
 from repro.cli import main as cli_main
-from repro.cluster import (Autoscaler, ClusterResult, LeastKVUtilizationRouter,
+from repro.cluster import (ClusterResult, LeastKVUtilizationRouter,
                            LeastOutstandingRouter, ReplicaLifecycle, RequestRouter,
                            RoundRobinRouter, SLOTTFTRouter, WeightedCapacityRouter,
                            available_routers, build_router, register_router,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import (LLMServingSim, ParallelismStrategy, Request, ServingSimConfig,
+from repro import (LLMServingSim, ParallelismStrategy, ServingSimConfig,
                    SimTimeCalibration, generate_trace)
 from repro.analysis import (format_table, geometric_mean_error, mean_absolute_percentage_error,
                             relative_error, series_error)

@@ -40,16 +40,18 @@ def markdown_files():
 
 class TestDocsTreeExists:
     @pytest.mark.parametrize("page", ["architecture.md", "cluster.md",
-                                      "configuration.md", "performance.md",
-                                      "scheduler.md", "workloads.md"])
+                                      "configuration.md", "correctness.md",
+                                      "performance.md", "scheduler.md",
+                                      "workloads.md"])
     def test_docs_pages_exist(self, page):
         assert (DOCS_DIR / page).is_file()
 
     def test_readme_links_every_docs_page(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for page in ("docs/architecture.md", "docs/cluster.md",
-                     "docs/configuration.md", "docs/performance.md",
-                     "docs/scheduler.md", "docs/workloads.md"):
+                     "docs/configuration.md", "docs/correctness.md",
+                     "docs/performance.md", "docs/scheduler.md",
+                     "docs/workloads.md"):
             assert page in readme, f"README does not link {page}"
 
 
@@ -138,6 +140,29 @@ class TestReadmeClusterCommands:
             assert cli_main(argv) == 0, f"documented command failed: {argv}"
             out = capsys.readouterr().out
             assert "requests finished" in out
+
+
+class TestCorrectnessDocs:
+    """docs/correctness.md must document every lint rule and invariant knob."""
+
+    def test_every_registered_rule_is_documented(self):
+        from repro.analysis.lint import RULES
+        text = (DOCS_DIR / "correctness.md").read_text()
+        for code in RULES:
+            assert code in text, (f"docs/correctness.md does not document "
+                                  f"lint rule {code}")
+
+    def test_invariant_knobs_documented(self):
+        text = (DOCS_DIR / "correctness.md").read_text()
+        for needle in ("--check-invariants", "check_invariants",
+                       "InvariantViolation", "noqa", "--write-baseline"):
+            assert needle in text, (f"docs/correctness.md lost its {needle} "
+                                    f"documentation")
+
+    def test_configuration_reference_links_correctness(self):
+        text = (DOCS_DIR / "configuration.md").read_text()
+        assert "check_invariants" in text
+        assert "correctness.md" in text
 
 
 class TestTraceDocs:

@@ -1,7 +1,6 @@
 """Unit tests for iteration-level memoization (the reuse hierarchy's top level)."""
 
 import dataclasses
-import multiprocessing
 import pickle
 import threading
 

@@ -8,7 +8,6 @@ exercised separately: the per-iteration ``IterationRecord.evictions`` /
 graph handed to the system simulator (as MEMORY transfer nodes).
 """
 
-import pytest
 
 from repro import LLMServingSim, ServingSimConfig
 from repro.graph.execgraph import GraphNodeType

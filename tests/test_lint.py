@@ -1,0 +1,496 @@
+"""Tests for the ``repro lint`` static-analysis pass.
+
+Every REP rule gets at least one true-positive fixture (the hazard is
+reported with file:line and rule code) and one false-positive fixture (the
+safe spelling of the same pattern stays clean), plus coverage of the
+``# repro: noqa`` suppressions, the baseline workflow and the CLI
+subcommand.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (DEFAULT_BASELINE_NAME, LintError, lint_file,
+                                 lint_paths, load_baseline, lint_main,
+                                 split_by_baseline, write_baseline)
+from repro.analysis.lint.engine import module_name_of, parse_module
+from repro.analysis.lint.rules import RULES
+from repro.cli import main as cli_main
+
+
+def lint_snippet(tmp_path, source, name="snippet.py", select=None):
+    """Write a fixture module and lint it; returns the findings."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, select=select)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRuleRegistry:
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == ["REP001", "REP002", "REP003",
+                                 "REP004", "REP005", "REP006"]
+
+    def test_findings_carry_file_line_and_code(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            now = time.time()
+            """)
+        assert len(findings) == 1
+        rendered = findings[0].format()
+        assert "snippet.py:2:" in rendered and "REP001" in rendered
+
+
+class TestREP001WallClock:
+    def test_true_positive_time_time(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            def clock():
+                return time.time()
+            """)
+        assert codes(findings) == ["REP001"]
+        assert findings[0].line == 3
+
+    def test_true_positive_aliased_perf_counter(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from time import perf_counter as pc
+            start = pc()
+            """)
+        assert codes(findings) == ["REP001"]
+
+    def test_true_positive_datetime_now(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from datetime import datetime
+            stamp = datetime.now()
+            """)
+        assert codes(findings) == ["REP001"]
+
+    def test_false_positive_time_sleep_is_clean(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            import time
+            time.sleep(0.1)
+            """) == []
+
+    def test_false_positive_allowlisted_timing_module(self, tmp_path):
+        # The same wall-clock read inside repro.bench (a module whose job is
+        # host timing) must not be flagged.
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        findings = lint_snippet(tmp_path, """\
+            import time
+            def measure():
+                return time.perf_counter()
+            """, name="repro/bench.py")
+        assert findings == []
+
+    def test_unrelated_local_function_named_time_is_clean(self, tmp_path):
+        # A locally defined `time()` is not the stdlib's; no import, no match.
+        assert lint_snippet(tmp_path, """\
+            def time():
+                return 0.0
+            t = time()
+            """) == []
+
+
+class TestREP002UnseededRandomness:
+    def test_true_positive_module_level_random(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+            jitter = random.random()
+            """)
+        assert codes(findings) == ["REP002"]
+
+    def test_true_positive_numpy_module_level(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import numpy as np
+            noise = np.random.rand(4)
+            """)
+        assert codes(findings) == ["REP002"]
+
+    def test_true_positive_unseeded_default_rng(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng()
+            """)
+        assert codes(findings) == ["REP002"]
+        assert "seed" in findings[0].message
+
+    def test_false_positive_seeded_default_rng(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(1234)
+            draws = rng.random(10)
+            """) == []
+
+    def test_false_positive_seeded_random_instance(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            import random
+            rng = random.Random(7)
+            value = rng.random()
+            """) == []
+
+
+class TestREP003UnorderedIteration:
+    def test_true_positive_for_over_set_literal(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            for item in {"b", "a"}:
+                print(item)
+            """)
+        assert codes(findings) == ["REP003"]
+
+    def test_true_positive_for_over_set_typed_name(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def run(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """)
+        assert codes(findings) == ["REP003"]
+
+    def test_true_positive_list_of_set(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def order(ids):
+                unique = set(ids)
+                return list(unique)
+            """)
+        assert codes(findings) == ["REP003"]
+
+    def test_true_positive_unsorted_listdir(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import os
+            def files(root):
+                return [f for f in os.listdir(root)]
+            """)
+        assert codes(findings) == ["REP003"]
+
+    def test_true_positive_unsorted_rglob(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def modules(root):
+                for path in root.rglob("*.py"):
+                    yield path
+            """)
+        assert codes(findings) == ["REP003"]
+
+    def test_false_positive_sorted_listdir(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            import os
+            def files(root):
+                return sorted(os.listdir(root))
+            """) == []
+
+    def test_false_positive_sorted_generator_over_rglob(self, tmp_path):
+        # sorted() one level up through a comprehension still restores order.
+        assert lint_snippet(tmp_path, """\
+            def modules(root):
+                return sorted(p for p in root.rglob("*.py") if p.is_file())
+            """) == []
+
+    def test_false_positive_iterating_a_list(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            def run(items):
+                ordered = list(items)
+                for item in ordered:
+                    print(item)
+            """) == []
+
+    def test_false_positive_membership_and_len_of_set(self, tmp_path):
+        # Order-insensitive uses of a set are fine.
+        assert lint_snippet(tmp_path, """\
+            def run(items):
+                seen = set(items)
+                return len(seen), ("a" in seen)
+            """) == []
+
+
+class TestREP004IdentityKeys:
+    def test_true_positive_id_as_dict_key(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            cache = {}
+            def remember(obj, value):
+                cache[id(obj)] = value
+            """)
+        assert codes(findings) == ["REP004"]
+
+    def test_true_positive_id_into_set_add(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            seen = set()
+            def visit(node):
+                seen.add(id(node))
+            """)
+        assert codes(findings) == ["REP004"]
+
+    def test_true_positive_id_as_heap_tiebreaker(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import heapq
+            def enqueue(heap, priority, task):
+                heapq.heappush(heap, (priority, id(task), task))
+            """)
+        assert codes(findings) == ["REP004"]
+
+    def test_false_positive_id_in_debug_output(self, tmp_path):
+        # id() for display only never keys anything.
+        assert lint_snippet(tmp_path, """\
+            def debug(obj):
+                print(f"object at {id(obj):#x}")
+            """) == []
+
+    def test_false_positive_keying_by_object_itself(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            cache = {}
+            def remember(obj, value):
+                cache[obj] = value
+            """) == []
+
+
+class TestREP005UnpicklablePayloads:
+    def test_true_positive_lambda_into_send(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def ship(conn):
+                conn.send(lambda: 1)
+            """)
+        assert codes(findings) == ["REP005"]
+
+    def test_true_positive_lambda_name_into_process_target(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from multiprocessing import Process
+            def launch():
+                work = lambda: 42
+                return Process(target=work)
+            """)
+        assert codes(findings) == ["REP005"]
+
+    def test_true_positive_nested_def_into_pool(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def launch(pool, items):
+                def work(item):
+                    return item * 2
+                return pool.map(work, items)
+            """)
+        assert codes(findings) == ["REP005"]
+
+    def test_false_positive_module_level_target(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            from multiprocessing import Process
+            def work():
+                return 42
+            def launch():
+                return Process(target=work)
+            """) == []
+
+    def test_false_positive_plain_data_payload(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            def ship(conn, signature, entry):
+                conn.send(("put", signature, entry))
+            """) == []
+
+
+class TestREP006LockDiscipline:
+    @staticmethod
+    def guarded_class(method_lines):
+        header = textwrap.dedent("""\
+            import threading
+
+            class Cache:
+                _LOCK_GUARDED = ("_entries",)
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+            """)
+        body = textwrap.indent(textwrap.dedent(method_lines), "    ")
+        return header + "\n" + body
+
+    def test_true_positive_unlocked_access(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.guarded_class("""\
+            def size(self):
+                return len(self._entries)
+            """))
+        assert codes(findings) == ["REP006"]
+        assert "Cache._entries" in findings[0].message
+        assert "size()" in findings[0].message
+
+    def test_false_positive_access_under_lock(self, tmp_path):
+        assert lint_snippet(tmp_path, self.guarded_class("""\
+            def size(self):
+                with self._lock:
+                    return len(self._entries)
+            """)) == []
+
+    def test_false_positive_lock_held_documented_method(self, tmp_path):
+        assert lint_snippet(tmp_path, self.guarded_class('''\
+            def _size_locked(self):
+                """Lock-held: caller holds self._lock."""
+                return len(self._entries)
+            ''')) == []
+
+    def test_init_is_exempt(self, tmp_path):
+        # The fixture's __init__ assigns self._entries outside any lock and
+        # must not be flagged (the object is unpublished until it returns).
+        findings = lint_snippet(tmp_path, self.guarded_class("""\
+            def noop(self):
+                return None
+            """))
+        assert findings == []
+
+    def test_undeclared_class_is_not_checked(self, tmp_path):
+        assert lint_snippet(tmp_path, """\
+            class Plain:
+                def __init__(self):
+                    self._entries = {}
+                def size(self):
+                    return len(self._entries)
+            """) == []
+
+
+class TestNoqaSuppression:
+    def test_bare_noqa_suppresses_all_codes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            now = time.time()  # repro: noqa
+            """)
+        assert findings == []
+
+    def test_named_noqa_suppresses_only_named_rule(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            now = time.time()  # repro: noqa[REP001]
+            """)
+        assert findings == []
+
+    def test_wrong_code_noqa_does_not_suppress(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            now = time.time()  # repro: noqa[REP003]
+            """)
+        assert codes(findings) == ["REP001"]
+
+
+class TestSelectIgnore:
+    SOURCE = """\
+        import time, random
+        now = time.time()
+        jitter = random.random()
+        """
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.SOURCE, select=["REP002"])
+        assert codes(findings) == ["REP002"]
+
+    def test_unknown_code_is_an_error(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(LintError, match="REP999"):
+            lint_file(path, select=["REP999"])
+
+
+class TestBaselineWorkflow:
+    def test_round_trip_splits_old_from_new(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            now = time.time()
+            """)
+        baseline_path = write_baseline(tmp_path / "baseline.json", findings)
+        baseline = load_baseline(baseline_path)
+        new, baselined = split_by_baseline(findings, baseline)
+        assert new == [] and len(baselined) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_malformed_baseline_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else/v9", "findings": []}')
+        with pytest.raises(LintError, match="schema"):
+            load_baseline(bad)
+
+
+class TestModuleNameResolution:
+    def test_package_file_resolves_dotted(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+        target = tmp_path / "pkg" / "sub" / "mod.py"
+        target.write_text("x = 1\n")
+        assert module_name_of(target) == "pkg.sub.mod"
+        assert parse_module(target).module_name == "pkg.sub.mod"
+
+    def test_loose_file_resolves_to_stem(self, tmp_path):
+        target = tmp_path / "script.py"
+        target.write_text("x = 1\n")
+        assert module_name_of(target) == "script"
+
+
+class TestLintCLI:
+    @staticmethod
+    def write_dirty(tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nnow = time.time()\n")
+        return dirty
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        assert lint_main([str(dirty), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:2:" in out and "REP001" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        dirty = self.write_dirty(tmp_path)
+        assert lint_main([str(dirty), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "REP001"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_write_then_respect_baseline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        self.write_dirty(tmp_path)
+        assert lint_main(["dirty.py", "--write-baseline"]) == 0
+        assert (tmp_path / DEFAULT_BASELINE_NAME).is_file()
+        capsys.readouterr()
+        assert lint_main(["dirty.py"]) == 0  # baselined, not new
+        assert "baselined" in capsys.readouterr().out
+        assert lint_main(["dirty.py", "--no-baseline"]) == 1
+
+    def test_unknown_rule_code_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean), "--select", "REP999"]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_dispatched_from_main_cli(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli_main(["lint", str(clean)]) == 0
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_no_findings(self):
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parent.parent
+        findings = lint_paths([repo_root / "src"], relative_to=repo_root)
+        assert findings == [], ("repro lint src/ must ship clean:\n"
+                                + "\n".join(f.format() for f in findings))
+
+    def test_committed_baseline_is_empty(self):
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parent.parent
+        baseline = load_baseline(repo_root / DEFAULT_BASELINE_NAME)
+        assert baseline == set(), "the committed lint baseline must stay empty"
